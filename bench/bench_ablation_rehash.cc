@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Ablation: hashcode preservation (DESIGN.md ABL2). Identity
+ * hashcodes are cached in object headers; Skyway transfers the whole
+ * header, so a hash-keyed structure can be used on the receiver
+ * without rehashing. Byte serializers rebuild objects, losing the
+ * cached hash — every insertion recomputes it. This bench measures
+ * building an identity-hash-keyed table over transferred objects
+ * under both paths.
+ */
+
+#include <unordered_map>
+
+#include "bench/benchutil.hh"
+#include "skyway/jvm.hh"
+#include "skyway/streams.hh"
+
+using namespace skyway;
+
+int
+main(int argc, char **argv)
+{
+    double scale = bench::parseScale(argc, argv, 1.0);
+    const int objects = static_cast<int>(50000 * scale);
+    ClassCatalog cat = bench::fullCatalog();
+    ClusterNetwork net(2);
+    Jvm sender(cat, net, 0, 0);
+    Jvm receiver(cat, net, 1, 0);
+
+    // Objects whose identity hashes are hot on the sender (as keys
+    // of a HashMap would be).
+    LocalRoots roots(sender.heap());
+    Klass *k = sender.klasses().load("java.lang.Integer");
+    std::vector<std::size_t> slots;
+    for (int i = 0; i < objects; ++i) {
+        Address obj = sender.heap().allocateInstance(k);
+        field::set<std::int32_t>(sender.heap(), obj,
+                                 k->requireField("value"), i);
+        sender.heap().identityHash(obj);
+        slots.push_back(roots.push(obj));
+    }
+
+    auto buildTable = [&](const std::vector<Address> &objs,
+                          std::uint64_t &out_ns) {
+        ScopedTimer t(out_ns);
+        std::unordered_map<std::int32_t, Address> table;
+        table.reserve(objs.size());
+        for (Address a : objs)
+            table.emplace(receiver.heap().identityHash(a), a);
+        return table.size();
+    };
+
+    bench::printHeader(
+        "Ablation 2: hashcode preservation vs rehash on receive");
+
+    // Path 1: Skyway — hashes arrive cached in the mark word.
+    std::vector<Address> sky_objs;
+    {
+        SkywaySerializer ser(sender.skyway());
+        SkywaySerializer des(receiver.skyway());
+        VectorSink sink;
+        for (std::size_t s : slots)
+            ser.writeObject(roots.get(s), sink);
+        ser.endStream(sink);
+        ByteSource src(sink.bytes());
+        for (int i = 0; i < objects; ++i)
+            sky_objs.push_back(des.readObject(src));
+        std::uint64_t ns = 0;
+        std::size_t n = buildTable(sky_objs, ns);
+        std::uint64_t cached = 0;
+        for (Address a : sky_objs)
+            if (mark::hasHash(receiver.heap().markOf(a)))
+                ++cached;
+        std::printf("skyway: table of %zu built in %.2f ms "
+                    "(%llu/%d hashes arrived cached)\n",
+                    n, ns / 1e6,
+                    static_cast<unsigned long long>(cached), objects);
+    }
+
+    // Path 2: Kryo — objects are recreated, identity hashes must be
+    // recomputed and the table effectively rebuilt from scratch.
+    {
+        auto reg = std::make_shared<KryoRegistry>();
+        registerSparkAppKryo(*reg);
+        KryoSerializer ser(SdEnv{sender.heap(), sender.klasses()},
+                           *reg);
+        KryoSerializer des(SdEnv{receiver.heap(), receiver.klasses()},
+                           *reg);
+        VectorSink sink;
+        for (std::size_t s : slots)
+            ser.writeObject(roots.get(s), sink);
+        LocalRoots recv(receiver.heap());
+        std::vector<Address> objs;
+        ByteSource src(sink.bytes());
+        for (int i = 0; i < objects; ++i) {
+            std::size_t r = recv.push(des.readObject(src));
+            objs.push_back(recv.get(r));
+        }
+        std::uint64_t cached = 0;
+        for (Address a : objs)
+            if (mark::hasHash(receiver.heap().markOf(a)))
+                ++cached;
+        std::uint64_t ns = 0;
+        std::size_t n = buildTable(objs, ns);
+        std::printf("kryo:   table of %zu built in %.2f ms "
+                    "(%llu/%d hashes arrived cached)\n",
+                    n, ns / 1e6,
+                    static_cast<unsigned long long>(cached), objects);
+    }
+    std::printf("\n(with preserved hashes the layout of hash-based "
+                "structures can be reused immediately — the paper's "
+                "no-rehashing property)\n");
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablation: the cost of type *representation* (DESIGN.md ABL1). The
+ * paper attributes much of the Java serializer's byte bloat and CPU
+ * cost to descriptor strings, and Kryo's improvement to registered
+ * integer ids — Skyway's global numbering gets the integer ids
+ * without the manual registration. This bench isolates that axis by
+ * serializing the same batch under:
+ *   java/fresh   descriptor strings on every object (stream reset 1)
+ *   java/cached  descriptor strings once per stream
+ *   kryo         registered integer ids
+ *   skyway       global type ids in the klass word
+ */
+
+#include "bench/benchutil.hh"
+#include "skyway/jvm.hh"
+#include "skyway/streams.hh"
+
+using namespace skyway;
+
+int
+main(int argc, char **argv)
+{
+    double scale = bench::parseScale(argc, argv, 1.0);
+    const int objects = static_cast<int>(20000 * scale);
+    ClassCatalog cat = bench::fullCatalog();
+    ClusterNetwork net(2);
+    Jvm sender(cat, net, 0, 0);
+    Jvm receiver(cat, net, 1, 0);
+
+    LocalRoots roots(sender.heap());
+    Klass *pairK = sender.klasses().load("spark.WordPair");
+    std::vector<std::size_t> slots;
+    Rng rng(17);
+    for (int i = 0; i < objects; ++i) {
+        std::size_t rs = roots.push(sender.builder().makeString(
+            "token" + std::to_string(rng.nextBounded(5000))));
+        Address rec = sender.heap().allocateInstance(pairK);
+        field::setRef(sender.heap(), rec, pairK->requireField("word"),
+                      roots.get(rs));
+        field::set<std::int64_t>(sender.heap(), rec,
+                                 pairK->requireField("count"), i);
+        slots.push_back(roots.push(rec));
+    }
+
+    bench::printHeader(
+        "Ablation 1: type representation (same data, same batch)");
+    std::printf("%-14s %10s %10s %12s %14s\n", "config", "ser_ms",
+                "deser_ms", "bytes", "B/object");
+
+    auto run = [&](const std::string &name, Serializer &ser,
+                   Serializer &des) {
+        VectorSink sink;
+        std::uint64_t ser_ns = 0, deser_ns = 0;
+        {
+            ScopedTimer t(ser_ns);
+            for (std::size_t s : slots)
+                ser.writeObject(roots.get(s), sink);
+            ser.endStream(sink);
+        }
+        {
+            ScopedTimer t(deser_ns);
+            ByteSource src(sink.bytes());
+            for (int i = 0; i < objects; ++i)
+                des.readObject(src);
+            des.releaseReceived();
+        }
+        std::printf("%-14s %10.2f %10.2f %12zu %14.1f\n",
+                    name.c_str(), ser_ns / 1e6, deser_ns / 1e6,
+                    sink.bytesWritten(),
+                    static_cast<double>(sink.bytesWritten()) /
+                        objects);
+    };
+
+    {
+        JavaSerializer ser(SdEnv{sender.heap(), sender.klasses()}, 1);
+        JavaSerializer des(SdEnv{receiver.heap(), receiver.klasses()},
+                           1);
+        run("java/fresh", ser, des);
+    }
+    {
+        JavaSerializer ser(SdEnv{sender.heap(), sender.klasses()}, 0);
+        JavaSerializer des(SdEnv{receiver.heap(), receiver.klasses()},
+                           0);
+        run("java/cached", ser, des);
+    }
+    {
+        auto reg = std::make_shared<KryoRegistry>();
+        registerSparkAppKryo(*reg);
+        KryoSerializer ser(SdEnv{sender.heap(), sender.klasses()},
+                           *reg);
+        KryoSerializer des(SdEnv{receiver.heap(), receiver.klasses()},
+                           *reg);
+        run("kryo", ser, des);
+    }
+    {
+        SkywaySerializer ser(sender.skyway());
+        SkywaySerializer des(receiver.skyway());
+        run("skyway", ser, des);
+    }
+    std::printf("\n(java/fresh shows the per-object descriptor-string "
+                "tax; kryo and skyway both pay integer ids, but only "
+                "skyway assigns them without developer "
+                "registration)\n");
+    return 0;
+}

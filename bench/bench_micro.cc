@@ -1,0 +1,253 @@
+/**
+ * @file
+ * google-benchmark micro suite: per-record costs of the transports
+ * and the runtime primitives they are built from. These are the
+ * microscopic quantities whose ratios drive every macro figure —
+ * reflective field access vs cached-offset access vs whole-object
+ * memcpy, varint codecs, heap allocation, and the Skyway claim/copy
+ * and receive paths at several graph sizes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sd/javaserializer.hh"
+#include "sd/kryoserializer.hh"
+#include "skyway/jvm.hh"
+#include "skyway/streams.hh"
+#include "support/rng.hh"
+
+using namespace skyway;
+
+namespace
+{
+
+/** Shared two-node environment (built once). */
+struct Env
+{
+    Env() : net(2), a(catalog(), net, 0, 0), b(catalog(), net, 1, 0)
+    {
+        reg = std::make_shared<KryoRegistry>();
+        kryoRegisterBuiltins(*reg);
+        reg->registerClass("bench.Rec");
+    }
+
+    static ClassCatalog &
+    catalog()
+    {
+        static ClassCatalog cat = [] {
+            ClassCatalog c = makeStandardCatalog();
+            c.define(ClassDef{
+                "bench.Rec",
+                "",
+                {
+                    {"id", FieldType::Long, ""},
+                    {"weight", FieldType::Double, ""},
+                    {"tag", FieldType::Ref, "java.lang.String"},
+                },
+            });
+            return c;
+        }();
+        return cat;
+    }
+
+    /** One rooted bench.Rec. */
+    std::size_t
+    makeRec(LocalRoots &roots, int i)
+    {
+        Klass *k = a.klasses().load("bench.Rec");
+        LocalRoots tmp(a.heap());
+        std::size_t rs =
+            tmp.push(a.builder().makeString("tag" + std::to_string(i)));
+        Address rec = a.heap().allocateInstance(k);
+        field::set<std::int64_t>(a.heap(), rec, k->requireField("id"),
+                                 i);
+        field::set<double>(a.heap(), rec, k->requireField("weight"),
+                           i * 0.5);
+        field::setRef(a.heap(), rec, k->requireField("tag"),
+                      tmp.get(rs));
+        return roots.push(rec);
+    }
+
+    ClusterNetwork net;
+    Jvm a, b;
+    std::shared_ptr<KryoRegistry> reg;
+};
+
+Env &
+env()
+{
+    static Env e;
+    return e;
+}
+
+void
+BM_VarintEncode(benchmark::State &state)
+{
+    VectorSink sink;
+    std::uint64_t v = 0;
+    for (auto _ : state) {
+        sink.clear();
+        sink.writeVarU64(v);
+        v = v * 2862933555777941757ull + 3037000493ull;
+        benchmark::DoNotOptimize(sink.bytesWritten());
+    }
+}
+BENCHMARK(BM_VarintEncode);
+
+void
+BM_HeapAllocateInstance(benchmark::State &state)
+{
+    Env &e = env();
+    Klass *k = e.a.klasses().load("bench.Rec");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(e.a.heap().allocateInstance(k));
+}
+BENCHMARK(BM_HeapAllocateInstance);
+
+void
+BM_ReflectiveFieldGet(benchmark::State &state)
+{
+    Env &e = env();
+    LocalRoots roots(e.a.heap());
+    std::size_t r = e.makeRec(roots, 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(reflect::getField<std::int64_t>(
+            e.a.heap(), roots.get(r), "id"));
+    }
+}
+BENCHMARK(BM_ReflectiveFieldGet);
+
+void
+BM_CachedOffsetFieldGet(benchmark::State &state)
+{
+    Env &e = env();
+    LocalRoots roots(e.a.heap());
+    std::size_t r = e.makeRec(roots, 1);
+    const FieldDesc &f =
+        e.a.klasses().load("bench.Rec")->requireField("id");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(field::get<std::int64_t>(
+            e.a.heap(), roots.get(r), f));
+    }
+}
+BENCHMARK(BM_CachedOffsetFieldGet);
+
+void
+BM_IdentityHashCached(benchmark::State &state)
+{
+    Env &e = env();
+    LocalRoots roots(e.a.heap());
+    std::size_t r = e.makeRec(roots, 1);
+    e.a.heap().identityHash(roots.get(r));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(e.a.heap().identityHash(roots.get(r)));
+}
+BENCHMARK(BM_IdentityHashCached);
+
+template <typename MakeSer, typename MakeDes>
+void
+runSdRoundTrip(benchmark::State &state, MakeSer make_ser,
+               MakeDes make_des)
+{
+    Env &e = env();
+    LocalRoots roots(e.a.heap());
+    std::size_t r = e.makeRec(roots, 7);
+    auto ser = make_ser();
+    auto des = make_des();
+    for (auto _ : state) {
+        VectorSink sink;
+        ser->writeObject(roots.get(r), sink);
+        ser->endStream(sink);
+        ser->reset();
+        ByteSource src(sink.bytes());
+        benchmark::DoNotOptimize(des->readObject(src));
+        des->releaseReceived();
+        state.counters["bytes"] =
+            static_cast<double>(sink.bytesWritten());
+    }
+}
+
+void
+BM_RoundTripJava(benchmark::State &state)
+{
+    Env &e = env();
+    runSdRoundTrip(
+        state,
+        [&] {
+            return std::make_unique<JavaSerializer>(
+                SdEnv{e.a.heap(), e.a.klasses()});
+        },
+        [&] {
+            return std::make_unique<JavaSerializer>(
+                SdEnv{e.b.heap(), e.b.klasses()});
+        });
+}
+BENCHMARK(BM_RoundTripJava);
+
+void
+BM_RoundTripKryo(benchmark::State &state)
+{
+    Env &e = env();
+    runSdRoundTrip(
+        state,
+        [&] {
+            return std::make_unique<KryoSerializer>(
+                SdEnv{e.a.heap(), e.a.klasses()}, *e.reg);
+        },
+        [&] {
+            return std::make_unique<KryoSerializer>(
+                SdEnv{e.b.heap(), e.b.klasses()}, *e.reg);
+        });
+}
+BENCHMARK(BM_RoundTripKryo);
+
+void
+BM_RoundTripSkyway(benchmark::State &state)
+{
+    Env &e = env();
+    runSdRoundTrip(
+        state,
+        [&] {
+            return std::make_unique<SkywaySerializer>(e.a.skyway());
+        },
+        [&] {
+            return std::make_unique<SkywaySerializer>(e.b.skyway(),
+                                                      64 << 10,
+                                                      4 << 10);
+        });
+}
+BENCHMARK(BM_RoundTripSkyway);
+
+void
+BM_SkywayTransferBatch(benchmark::State &state)
+{
+    Env &e = env();
+    const int n = static_cast<int>(state.range(0));
+    LocalRoots roots(e.a.heap());
+    std::vector<std::size_t> recs;
+    for (int i = 0; i < n; ++i)
+        recs.push_back(e.makeRec(roots, i));
+
+    for (auto _ : state) {
+        e.a.skyway().shuffleStart();
+        SkywayObjectInputStream in(e.b.skyway(), 64 << 10);
+        SkywayObjectOutputStream out(
+            e.a.skyway(),
+            [&in](const std::uint8_t *d, std::size_t len) {
+                in.feed(d, len);
+            });
+        for (std::size_t r : recs)
+            out.writeObject(roots.get(r));
+        out.flush();
+        in.finish();
+        benchmark::DoNotOptimize(in.buffer().roots().size());
+        auto buf = in.releaseBuffer();
+        buf->free();
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SkywayTransferBatch)->Arg(10)->Arg(100)->Arg(1000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Shared plumbing for the benchmark binaries: catalog construction,
+ * serializer factories, scale-knob parsing, and table printing. Every
+ * bench prints labeled CSV-style rows mirroring the corresponding
+ * paper table or figure (see DESIGN.md's per-experiment index).
+ */
+
+#ifndef SKYWAY_BENCH_BENCHUTIL_HH
+#define SKYWAY_BENCH_BENCHUTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "minispark/apps.hh"
+#include "sd/javaserializer.hh"
+#include "workloads/jsbs_family.hh"
+
+namespace skyway
+{
+namespace bench
+{
+
+/**
+ * Scale knob: `--scale=X` on the command line or the
+ * SKYWAY_BENCH_SCALE environment variable; defaults keep the full
+ * sweep in the minutes range on one core.
+ */
+inline double
+parseScale(int argc, char **argv, double def)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--scale=", 8) == 0)
+            return std::atof(argv[i] + 8);
+    }
+    if (const char *env = std::getenv("SKYWAY_BENCH_SCALE"))
+        return std::atof(env);
+    return def;
+}
+
+/** Catalog with every application class the benches use. */
+inline ClassCatalog
+fullCatalog()
+{
+    ClassCatalog cat = makeStandardCatalog();
+    defineSparkAppClasses(cat);
+    defineMediaClasses(cat);
+    return cat;
+}
+
+/** One of the three Spark-facing serializer configurations. */
+struct SparkSetup
+{
+    std::string name;
+    std::shared_ptr<KryoRegistry> registry; // kryo only
+    std::unique_ptr<SerializerFactory> factory;
+    std::unique_ptr<ClusterSkywayFactory> skywayFactory;
+
+    SerializerFactory &
+    get()
+    {
+        if (factory)
+            return *factory;
+        return *skywayFactory;
+    }
+};
+
+inline SparkSetup
+makeSparkSetup(const std::string &which)
+{
+    SparkSetup s;
+    s.name = which;
+    if (which == "java") {
+        s.factory = std::make_unique<JavaSerializerFactory>();
+    } else if (which == "kryo") {
+        s.registry = std::make_shared<KryoRegistry>();
+        registerSparkAppKryo(*s.registry);
+        s.factory =
+            std::make_unique<KryoSerializerFactory>(s.registry);
+    } else if (which == "skyway") {
+        s.skywayFactory = std::make_unique<ClusterSkywayFactory>();
+    } else {
+        fatal("makeSparkSetup: unknown serializer " + which);
+    }
+    return s;
+}
+
+/** Build a cluster for @p setup (binds the Skyway factory). */
+inline std::unique_ptr<SparkCluster>
+makeCluster(const ClassCatalog &cat, SparkSetup &setup,
+            SparkConfig cfg = SparkConfig{})
+{
+    auto cluster =
+        std::make_unique<SparkCluster>(cat, setup.get(), cfg);
+    if (setup.skywayFactory)
+        setup.skywayFactory->bind(*cluster);
+    return cluster;
+}
+
+inline void
+printHeader(const char *title)
+{
+    std::printf("\n==== %s ====\n", title);
+}
+
+/** One breakdown row in milliseconds, Figure 3/8 style. */
+inline void
+printBreakdownRow(const std::string &label, const PhaseBreakdown &b)
+{
+    std::printf("%-24s %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+                label.c_str(), b.computeNs / 1e6, b.serNs / 1e6,
+                b.writeIoNs / 1e6, b.deserNs / 1e6, b.readIoNs / 1e6,
+                b.totalNs() / 1e6);
+}
+
+inline void
+printBreakdownHeader()
+{
+    std::printf("%-24s %10s %10s %10s %10s %10s %10s\n", "config",
+                "compute", "ser", "write", "deser", "read", "total");
+    std::printf("%-24s %10s %10s %10s %10s %10s %10s\n", "", "(ms)",
+                "(ms)", "(ms)", "(ms)", "(ms)", "(ms)");
+}
+
+} // namespace bench
+} // namespace skyway
+
+#endif // SKYWAY_BENCH_BENCHUTIL_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The garbage collector: a Parallel-Scavenge-flavoured generational
+ * collector with a copying young collection (Cheney scan over the
+ * survivor to-space plus a promotion queue), card-table scanning for
+ * old-to-young references, and a mark-sweep full collection of the old
+ * generation.
+ *
+ * Skyway-specific behaviour: pinned old-generation ranges (input
+ * buffers) are never swept; opaque pins (buffers still being filled,
+ * whose words are type IDs and relative pointers) are skipped entirely;
+ * walkable pins (absolutized buffers) are treated as live roots.
+ */
+
+#ifndef SKYWAY_GC_COLLECTOR_HH
+#define SKYWAY_GC_COLLECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "heap/heap.hh"
+
+namespace skyway
+{
+
+/** Collection statistics for reporting. */
+struct GcCycleStats
+{
+    std::uint64_t youngCopiedBytes = 0;
+    std::uint64_t promotedBytes = 0;
+    std::uint64_t oldSweptBytes = 0;
+    std::uint64_t markedObjects = 0;
+};
+
+/**
+ * The generational collector for one heap. Install via
+ * ManagedHeap::setCollector; the heap invokes it on allocation failure,
+ * and tests/benches can invoke it directly.
+ */
+class GenerationalGc : public ManagedHeap::Collector
+{
+  public:
+    explicit GenerationalGc(ManagedHeap &heap);
+
+    void scavenge() override;
+    void fullGc() override;
+
+    const GcCycleStats &lastCycle() const { return last_; }
+
+  private:
+    /** Copy young survivors; when @p promote_all, tenure everything. */
+    void scavengeImpl(bool promote_all);
+
+    /**
+     * Evacuate the young object at @p obj (or return its forwarding
+     * address when already copied) and enqueue the copy for scanning.
+     */
+    Address evacuate(Address obj, bool promote_all);
+
+    /** Fix one reference slot during scavenge scanning. */
+    void
+    processSlot(Address holder, std::size_t off, bool promote_all);
+
+    /** Mark phase of the full collection. */
+    void markFrom(const std::vector<Address> &roots);
+
+    /** Sweep the old generation, rebuilding the free list. */
+    void sweepOld();
+
+    ManagedHeap &heap_;
+    std::vector<Address> scanQueue_;
+    GcCycleStats last_;
+};
+
+} // namespace skyway
+
+#endif // SKYWAY_GC_COLLECTOR_HH

@@ -1,0 +1,314 @@
+#include "heap/objectops.hh"
+
+#include <unordered_map>
+#include <vector>
+
+namespace skyway
+{
+
+namespace reflect
+{
+
+Address
+getRefField(const ManagedHeap &h, Address obj, const std::string &name)
+{
+    const FieldDesc &f = h.klassOf(obj)->requireField(name);
+    return h.loadRef(obj, f.offset);
+}
+
+void
+setRefField(ManagedHeap &h, Address obj, const std::string &name, Address v)
+{
+    const FieldDesc &f = h.klassOf(obj)->requireField(name);
+    h.storeRef(obj, f.offset, v);
+}
+
+} // namespace reflect
+
+namespace array
+{
+
+Address
+getRef(const ManagedHeap &h, Address arr, std::size_t i)
+{
+    const Klass *k = h.klassOf(arr);
+    return h.loadRef(arr, h.arrayElemOffset(k, i));
+}
+
+void
+setRef(ManagedHeap &h, Address arr, std::size_t i, Address v)
+{
+    const Klass *k = h.klassOf(arr);
+    h.storeRef(arr, h.arrayElemOffset(k, i), v);
+}
+
+} // namespace array
+
+Address
+ObjectBuilder::makeString(std::string_view s)
+{
+    // Allocate the char[] first and root it across the String
+    // allocation? Both allocations are young and the second cannot
+    // move the first unless it triggers GC — so root defensively.
+    Address chars = makeCharArray(s);
+    std::size_t slot = heap_.addRoot(chars);
+    Klass *strK = klasses_.load("java.lang.String");
+    Address str = heap_.allocateInstance(strK);
+    chars = heap_.root(slot);
+    heap_.removeRoot(slot);
+    field::setRef(heap_, str, strK->requireField("value"), chars);
+    field::set<std::int32_t>(heap_, str, strK->requireField("hash"), 0);
+    return str;
+}
+
+std::string
+ObjectBuilder::stringValue(Address str) const
+{
+    Address chars = heap_.loadRef(
+        str, heap_.klassOf(str)->requireField("value").offset);
+    std::size_t n = static_cast<std::size_t>(heap_.arrayLength(chars));
+    std::string out;
+    out.reserve(n);
+    const Klass *ck = heap_.klassOf(chars);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(static_cast<char>(
+            heap_.load<std::uint16_t>(chars,
+                                      heap_.arrayElemOffset(ck, i))));
+    return out;
+}
+
+std::int32_t
+ObjectBuilder::stringHash(Address str)
+{
+    const Klass *k = heap_.klassOf(str);
+    const FieldDesc &hf = k->requireField("hash");
+    std::int32_t h = field::get<std::int32_t>(heap_, str, hf);
+    if (h != 0)
+        return h;
+    Address chars = field::getRef(heap_, str, k->requireField("value"));
+    std::size_t n = static_cast<std::size_t>(heap_.arrayLength(chars));
+    const Klass *ck = heap_.klassOf(chars);
+    for (std::size_t i = 0; i < n; ++i) {
+        h = 31 * h + heap_.load<std::uint16_t>(
+                         chars, heap_.arrayElemOffset(ck, i));
+    }
+    field::set<std::int32_t>(heap_, str, hf, h);
+    return h;
+}
+
+Address
+ObjectBuilder::makeInteger(std::int32_t v)
+{
+    Klass *k = klasses_.load("java.lang.Integer");
+    Address a = heap_.allocateInstance(k);
+    field::set<std::int32_t>(heap_, a, k->requireField("value"), v);
+    return a;
+}
+
+Address
+ObjectBuilder::makeLong(std::int64_t v)
+{
+    Klass *k = klasses_.load("java.lang.Long");
+    Address a = heap_.allocateInstance(k);
+    field::set<std::int64_t>(heap_, a, k->requireField("value"), v);
+    return a;
+}
+
+Address
+ObjectBuilder::makeDouble(double v)
+{
+    Klass *k = klasses_.load("java.lang.Double");
+    Address a = heap_.allocateInstance(k);
+    field::set<double>(heap_, a, k->requireField("value"), v);
+    return a;
+}
+
+std::int32_t
+ObjectBuilder::integerValue(Address box) const
+{
+    return heap_.load<std::int32_t>(
+        box, heap_.klassOf(box)->requireField("value").offset);
+}
+
+std::int64_t
+ObjectBuilder::longValue(Address box) const
+{
+    return heap_.load<std::int64_t>(
+        box, heap_.klassOf(box)->requireField("value").offset);
+}
+
+double
+ObjectBuilder::doubleValue(Address box) const
+{
+    return heap_.load<double>(
+        box, heap_.klassOf(box)->requireField("value").offset);
+}
+
+Address
+ObjectBuilder::makeIntArray(const std::vector<std::int32_t> &data)
+{
+    Klass *k = klasses_.arrayOfPrimitive(FieldType::Int);
+    Address a = heap_.allocateArray(k, data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        array::set<std::int32_t>(heap_, a, i, data[i]);
+    return a;
+}
+
+Address
+ObjectBuilder::makeLongArray(const std::vector<std::int64_t> &data)
+{
+    Klass *k = klasses_.arrayOfPrimitive(FieldType::Long);
+    Address a = heap_.allocateArray(k, data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        array::set<std::int64_t>(heap_, a, i, data[i]);
+    return a;
+}
+
+Address
+ObjectBuilder::makeDoubleArray(const std::vector<double> &data)
+{
+    Klass *k = klasses_.arrayOfPrimitive(FieldType::Double);
+    Address a = heap_.allocateArray(k, data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        array::set<double>(heap_, a, i, data[i]);
+    return a;
+}
+
+Address
+ObjectBuilder::makeCharArray(std::string_view data)
+{
+    Klass *k = klasses_.arrayOfPrimitive(FieldType::Char);
+    Address a = heap_.allocateArray(k, data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        array::set<std::uint16_t>(heap_, a, i,
+                                  static_cast<std::uint8_t>(data[i]));
+    return a;
+}
+
+Address
+ObjectBuilder::makeRefArray(const std::string &elemClass, std::size_t n)
+{
+    Klass *k = klasses_.arrayOfRefs(elemClass);
+    return heap_.allocateArray(k, n);
+}
+
+namespace
+{
+
+bool
+payloadEqual(const ManagedHeap &ha, Address a, const ManagedHeap &hb,
+             Address b)
+{
+    const Klass *ka = ha.klassOf(a);
+    const Klass *kb = hb.klassOf(b);
+    if (ka->name() != kb->name())
+        return false;
+    if (ka->isArray()) {
+        if (ha.arrayLength(a) != hb.arrayLength(b))
+            return false;
+        if (ka->elemType() == FieldType::Ref)
+            return true; // elements compared by the graph walk
+        std::size_t n = static_cast<std::size_t>(ha.arrayLength(a));
+        std::size_t sz = ka->elemSize();
+        const void *pa = reinterpret_cast<const void *>(
+            a + ha.format().arrayHeaderBytes());
+        const void *pb = reinterpret_cast<const void *>(
+            b + hb.format().arrayHeaderBytes());
+        return std::memcmp(pa, pb, n * sz) == 0;
+    }
+    for (const FieldDesc &f : ka->fields()) {
+        if (f.type == FieldType::Ref)
+            continue;
+        std::size_t sz = fieldSize(f.type);
+        const FieldDesc *fb = kb->findField(f.name);
+        if (!fb || fb->type != f.type)
+            return false;
+        if (std::memcmp(reinterpret_cast<const void *>(a + f.offset),
+                        reinterpret_cast<const void *>(b + fb->offset),
+                        sz) != 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+graphsEqual(const ManagedHeap &ha, Address a, const ManagedHeap &hb,
+            Address b, bool requireHash)
+{
+    // Parallel BFS with an isomorphism map: a's objects must map
+    // one-to-one onto b's, preserving sharing and cycles.
+    std::unordered_map<Address, Address> mapped;
+    std::vector<std::pair<Address, Address>> work;
+    work.emplace_back(a, b);
+
+    while (!work.empty()) {
+        auto [x, y] = work.back();
+        work.pop_back();
+        if (x == nullAddr || y == nullAddr) {
+            if (x != y)
+                return false;
+            continue;
+        }
+        auto it = mapped.find(x);
+        if (it != mapped.end()) {
+            if (it->second != y)
+                return false;
+            continue;
+        }
+        mapped.emplace(x, y);
+        if (!payloadEqual(ha, x, hb, y))
+            return false;
+        if (requireHash) {
+            Word ma = ha.markOf(x);
+            Word mb = hb.markOf(y);
+            if (mark::hasHash(ma) != mark::hasHash(mb))
+                return false;
+            if (mark::hasHash(ma) &&
+                mark::hashOf(ma) != mark::hashOf(mb))
+                return false;
+        }
+        // Enqueue reference slots pairwise. Slot enumeration order is
+        // deterministic (layout order / element order) on both sides.
+        std::vector<Address> xs, ys;
+        forEachRefSlot(ha, x,
+                       [&](std::size_t off) {
+                           xs.push_back(ha.loadRef(x, off));
+                       });
+        forEachRefSlot(hb, y,
+                       [&](std::size_t off) {
+                           ys.push_back(hb.loadRef(y, off));
+                       });
+        if (xs.size() != ys.size())
+            return false;
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            work.emplace_back(xs[i], ys[i]);
+    }
+    return true;
+}
+
+GraphMeasure
+measureGraph(const ManagedHeap &h, Address root)
+{
+    GraphMeasure m;
+    if (root == nullAddr)
+        return m;
+    std::unordered_map<Address, bool> seen;
+    std::vector<Address> work{root};
+    while (!work.empty()) {
+        Address a = work.back();
+        work.pop_back();
+        if (a == nullAddr || seen.count(a))
+            continue;
+        seen[a] = true;
+        ++m.objects;
+        m.bytes += h.objectSize(a);
+        forEachRefSlot(h, a, [&](std::size_t off) {
+            work.push_back(h.loadRef(a, off));
+        });
+    }
+    return m;
+}
+
+} // namespace skyway

@@ -1,0 +1,27 @@
+#include "iomodel/breakdown.hh"
+
+#include <cstdio>
+
+namespace skyway
+{
+
+std::string
+breakdownCsvHeader()
+{
+    return "compute_ms,ser_ms,write_ms,deser_ms,read_ms,total_ms,"
+           "local_mb,remote_mb";
+}
+
+std::string
+breakdownCsv(const PhaseBreakdown &b)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f",
+                  b.computeNs / 1e6, b.serNs / 1e6, b.writeIoNs / 1e6,
+                  b.deserNs / 1e6, b.readIoNs / 1e6, b.totalNs() / 1e6,
+                  b.bytesLocal / 1e6, b.bytesRemote / 1e6);
+    return buf;
+}
+
+} // namespace skyway

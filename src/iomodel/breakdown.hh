@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Per-phase cost breakdown, mirroring the five components of the
+ * paper's Figure 3(a)/Figure 8 stacks: computation, serialization,
+ * write I/O, deserialization, and read I/O (the paper folds network
+ * time into read I/O; so do we). Byte counters split local vs remote
+ * fetches as in Figure 3(b).
+ */
+
+#ifndef SKYWAY_IOMODEL_BREAKDOWN_HH
+#define SKYWAY_IOMODEL_BREAKDOWN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace skyway
+{
+
+/** The five-way time split plus shuffle byte counters. */
+struct PhaseBreakdown
+{
+    std::uint64_t computeNs = 0;
+    std::uint64_t serNs = 0;
+    std::uint64_t writeIoNs = 0;
+    std::uint64_t deserNs = 0;
+    std::uint64_t readIoNs = 0; // includes network time (as the paper)
+
+    std::uint64_t bytesLocal = 0;  // fetched from local partitions
+    std::uint64_t bytesRemote = 0; // fetched across the wire
+
+    std::uint64_t
+    totalNs() const
+    {
+        return computeNs + serNs + writeIoNs + deserNs + readIoNs;
+    }
+
+    PhaseBreakdown &
+    operator+=(const PhaseBreakdown &o)
+    {
+        computeNs += o.computeNs;
+        serNs += o.serNs;
+        writeIoNs += o.writeIoNs;
+        deserNs += o.deserNs;
+        readIoNs += o.readIoNs;
+        bytesLocal += o.bytesLocal;
+        bytesRemote += o.bytesRemote;
+        return *this;
+    }
+};
+
+/** Render a breakdown as a one-line CSV fragment (ms units). */
+std::string breakdownCsv(const PhaseBreakdown &b);
+
+/** CSV header matching breakdownCsv(). */
+std::string breakdownCsvHeader();
+
+} // namespace skyway
+
+#endif // SKYWAY_IOMODEL_BREAKDOWN_HH

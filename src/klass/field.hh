@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Field type descriptors for managed classes. Mirrors the JVM's field
+ * kinds: eight primitive types plus references.
+ */
+
+#ifndef SKYWAY_KLASS_FIELD_HH
+#define SKYWAY_KLASS_FIELD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace skyway
+{
+
+/** The JVM's field kinds. */
+enum class FieldType : std::uint8_t
+{
+    Boolean,
+    Byte,
+    Char,
+    Short,
+    Int,
+    Long,
+    Float,
+    Double,
+    Ref,
+};
+
+/** Storage size of a field of type @p t, in bytes. */
+constexpr std::size_t
+fieldSize(FieldType t)
+{
+    switch (t) {
+      case FieldType::Boolean:
+      case FieldType::Byte:
+        return 1;
+      case FieldType::Char:
+      case FieldType::Short:
+        return 2;
+      case FieldType::Int:
+      case FieldType::Float:
+        return 4;
+      case FieldType::Long:
+      case FieldType::Double:
+      case FieldType::Ref:
+        return 8;
+    }
+    return 0;
+}
+
+/** One-character JVM descriptor for @p t (e.g., 'I' for int). */
+char fieldDescriptorChar(FieldType t);
+
+/** Parse a one-character JVM descriptor back into a FieldType. */
+FieldType fieldTypeFromDescriptor(char c);
+
+/**
+ * A field as declared by the application, before layout. @c refClass is
+ * only meaningful for FieldType::Ref and names the static type of the
+ * referent (used by schema-based serializers).
+ */
+struct FieldDef
+{
+    std::string name;
+    FieldType type;
+    std::string refClass;
+};
+
+/**
+ * A field after layout: @c offset is the byte offset of the field's
+ * storage from the start of the object (header included).
+ */
+struct FieldDesc
+{
+    std::string name;
+    FieldType type;
+    std::uint32_t offset;
+    std::string refClass;
+};
+
+} // namespace skyway
+
+#endif // SKYWAY_KLASS_FIELD_HH

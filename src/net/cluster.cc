@@ -1,0 +1,113 @@
+#include "net/cluster.hh"
+
+namespace skyway
+{
+
+ClusterNetwork::ClusterNetwork(int node_count, NetworkCostModel model)
+    : nodeCount_(node_count),
+      model_(model),
+      mailboxes_(node_count),
+      handlers_(node_count),
+      wireNs_(node_count, 0),
+      bytes_(static_cast<std::size_t>(node_count) * node_count, 0),
+      msgs_(node_count, 0)
+{
+    panicIf(node_count <= 0, "ClusterNetwork: need at least one node");
+}
+
+void
+ClusterNetwork::charge(NodeId src, NodeId dst, std::size_t bytes)
+{
+    if (src == dst)
+        return; // loopback is free and not counted as remote bytes
+    wireNs_[src] += model_.transferNs(bytes);
+    bytes_[src * nodeCount_ + dst] += bytes;
+    ++msgs_[src];
+}
+
+void
+ClusterNetwork::send(NodeId src, NodeId dst, int tag,
+                     std::vector<std::uint8_t> payload)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    panicIf(dst < 0 || dst >= nodeCount_, "send: bad destination");
+    charge(src, dst, payload.size());
+    mailboxes_[dst].push_back(NetMessage{src, dst, tag,
+                                         std::move(payload)});
+}
+
+bool
+ClusterNetwork::poll(NodeId dst, NetMessage &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &box = mailboxes_[dst];
+    if (box.empty())
+        return false;
+    out = std::move(box.front());
+    box.pop_front();
+    return true;
+}
+
+bool
+ClusterNetwork::pollTag(NodeId dst, int tag, NetMessage &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &box = mailboxes_[dst];
+    for (auto it = box.begin(); it != box.end(); ++it) {
+        if (it->tag == tag) {
+            out = std::move(*it);
+            box.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ClusterNetwork::registerHandler(NodeId node, RequestHandler handler)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    handlers_[node] = std::move(handler);
+}
+
+std::vector<std::uint8_t>
+ClusterNetwork::request(NodeId src, NodeId dst, int tag,
+                        const std::vector<std::uint8_t> &payload)
+{
+    RequestHandler handler;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        handler = handlers_[dst];
+        charge(src, dst, payload.size());
+    }
+    panicIf(!handler, "request: node has no registered handler");
+    std::vector<std::uint8_t> reply = handler(src, tag, payload);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // The requester blocks for the reply as well.
+        if (src != dst)
+            wireNs_[src] += model_.transferNs(reply.size());
+    }
+    return reply;
+}
+
+std::uint64_t
+ClusterNetwork::totalBytesSent(NodeId src) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (int d = 0; d < nodeCount_; ++d)
+        total += bytes_[src * nodeCount_ + d];
+    return total;
+}
+
+void
+ClusterNetwork::resetAccounting()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fill(wireNs_.begin(), wireNs_.end(), 0);
+    std::fill(bytes_.begin(), bytes_.end(), 0);
+    std::fill(msgs_.begin(), msgs_.end(), 0);
+}
+
+} // namespace skyway

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The simulated cluster fabric: a set of numbered nodes exchanging
+ * byte-payload messages over reliable in-order channels. Messages move
+ * instantly in real time (everything is in-process); the wire cost is
+ * charged to per-node simulated clocks through the NetworkCostModel,
+ * and per-pair byte counters feed the "remote bytes" columns of the
+ * evaluation figures.
+ */
+
+#ifndef SKYWAY_NET_CLUSTER_HH
+#define SKYWAY_NET_CLUSTER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "net/costmodel.hh"
+#include "support/logging.hh"
+
+namespace skyway
+{
+
+/** A node id within one cluster. */
+using NodeId = int;
+
+/** One in-flight message. */
+struct NetMessage
+{
+    NodeId src;
+    NodeId dst;
+    int tag;
+    std::vector<std::uint8_t> payload;
+};
+
+/**
+ * The cluster fabric. Thread-safe: Skyway's multi-threaded senders may
+ * push concurrently.
+ */
+class ClusterNetwork
+{
+  public:
+    /**
+     * A synchronous request handler a node may register (the type
+     * registry driver's daemon thread, paper Algorithm 1 part 2).
+     * Receives the request payload, returns the reply payload.
+     */
+    using RequestHandler =
+        std::function<std::vector<std::uint8_t>(NodeId src, int tag,
+                                                const std::vector<
+                                                    std::uint8_t> &)>;
+
+    explicit ClusterNetwork(int node_count,
+                            NetworkCostModel model = gigabitEthernet());
+
+    int nodeCount() const { return nodeCount_; }
+    const NetworkCostModel &model() const { return model_; }
+
+    /** Enqueue a one-way message; charges wire time to the sender. */
+    void send(NodeId src, NodeId dst, int tag,
+              std::vector<std::uint8_t> payload);
+
+    /**
+     * Dequeue the next message addressed to @p dst (any source/tag);
+     * returns false when the mailbox is empty.
+     */
+    bool poll(NodeId dst, NetMessage &out);
+
+    /**
+     * Dequeue the next message for @p dst with tag @p tag, skipping
+     * (and retaining) others. False when none pending.
+     */
+    bool pollTag(NodeId dst, int tag, NetMessage &out);
+
+    /** Register @p handler as @p node's synchronous request daemon. */
+    void registerHandler(NodeId node, RequestHandler handler);
+
+    /**
+     * Synchronous request/reply (models a blocking socket round trip).
+     * Charges request wire time to @p src and reply wire time to
+     * @p src as well — the requester blocks for the full RTT.
+     */
+    std::vector<std::uint8_t> request(NodeId src, NodeId dst, int tag,
+                                      const std::vector<std::uint8_t> &
+                                          payload);
+
+    /// @name Accounting
+    /// @{
+
+    /** Simulated send-side wire nanoseconds charged to @p node. */
+    std::uint64_t wireNs(NodeId node) const { return wireNs_[node]; }
+
+    /** Bytes @p src has pushed toward @p dst. */
+    std::uint64_t
+    bytesSent(NodeId src, NodeId dst) const
+    {
+        return bytes_[src * nodeCount_ + dst];
+    }
+
+    /** Total bytes sent by @p src to any remote node. */
+    std::uint64_t totalBytesSent(NodeId src) const;
+
+    /** Total message count from @p src. */
+    std::uint64_t messagesSent(NodeId src) const { return msgs_[src]; }
+
+    void resetAccounting();
+
+    /// @}
+
+  private:
+    void charge(NodeId src, NodeId dst, std::size_t bytes);
+
+    int nodeCount_;
+    NetworkCostModel model_;
+    mutable std::mutex mutex_;
+    std::vector<std::deque<NetMessage>> mailboxes_;
+    std::vector<RequestHandler> handlers_;
+    std::vector<std::uint64_t> wireNs_;
+    std::vector<std::uint64_t> bytes_;
+    std::vector<std::uint64_t> msgs_;
+};
+
+} // namespace skyway
+
+#endif // SKYWAY_NET_CLUSTER_HH

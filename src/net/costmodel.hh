@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Network cost model. The serialization work in this repository is
+ * executed for real and timed with a stopwatch; wire time, which a
+ * single-machine reproduction cannot measure, is *charged* through this
+ * model instead (DESIGN.md section 2). Defaults model the paper's
+ * testbed: 1000 Mb/s Ethernet.
+ */
+
+#ifndef SKYWAY_NET_COSTMODEL_HH
+#define SKYWAY_NET_COSTMODEL_HH
+
+#include <cstdint>
+
+namespace skyway
+{
+
+/** Wire-time model for one link technology. */
+struct NetworkCostModel
+{
+    /** Payload bandwidth in bytes per second. 1000 Mb/s = 125 MB/s. */
+    double bandwidthBytesPerSec = 125.0e6;
+
+    /** Per-message latency in nanoseconds (switch + stack). */
+    std::uint64_t latencyNs = 100'000; // 100 us
+
+    /** Wire nanoseconds to move @p bytes in one message. */
+    std::uint64_t
+    transferNs(std::uint64_t bytes) const
+    {
+        return latencyNs +
+               static_cast<std::uint64_t>(bytes * 1.0e9 /
+                                          bandwidthBytesPerSec);
+    }
+};
+
+/** Pre-canned link technologies used by the benches. */
+inline NetworkCostModel
+gigabitEthernet()
+{
+    return NetworkCostModel{125.0e6, 100'000};
+}
+
+inline NetworkCostModel
+infiniBand40G()
+{
+    return NetworkCostModel{5.0e9, 5'000};
+}
+
+} // namespace skyway
+
+#endif // SKYWAY_NET_COSTMODEL_HH

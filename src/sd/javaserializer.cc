@@ -1,0 +1,335 @@
+#include "sd/javaserializer.hh"
+
+namespace skyway
+{
+
+JavaSerializer::JavaSerializer(SdEnv env, int reset_interval)
+    : env_(env),
+      resetInterval_(reset_interval),
+      handles_(std::make_unique<LocalRoots>(env.heap))
+{
+}
+
+void
+JavaSerializer::clearWriteState()
+{
+    handleOf_.clear();
+    pending_.clear();
+    descIdOf_.clear();
+}
+
+void
+JavaSerializer::clearReadState()
+{
+    handles_->clear();
+    descTable_.clear();
+    fixups_.clear();
+}
+
+void
+JavaSerializer::reset()
+{
+    pendingReset_ = true;
+}
+
+void
+JavaSerializer::writeRefSlot(Address target, ByteSink &out)
+{
+    if (target == nullAddr) {
+        out.writeU8(javatc::null);
+        return;
+    }
+    auto it = handleOf_.find(target);
+    std::uint32_t handle;
+    if (it != handleOf_.end()) {
+        handle = it->second;
+    } else {
+        handle = static_cast<std::uint32_t>(handleOf_.size());
+        handleOf_.emplace(target, handle);
+        pending_.push_back(target);
+    }
+    out.writeU8(javatc::reference);
+    out.writeVarU32(handle);
+}
+
+void
+JavaSerializer::writeClassDesc(Klass *k, ByteSink &out)
+{
+    if (!k) {
+        out.writeU8(javatc::null);
+        return;
+    }
+    auto it = descIdOf_.find(k);
+    if (it != descIdOf_.end()) {
+        out.writeU8(javatc::classDescRef);
+        out.writeVarU32(it->second);
+        return;
+    }
+    std::uint32_t id = static_cast<std::uint32_t>(descIdOf_.size());
+    descIdOf_.emplace(k, id);
+    ++descWritten_;
+
+    // The full descriptor: class name, the declared field table (name
+    // and type character per field), then — recursively — the
+    // super-class descriptor, exactly the structure that makes a
+    // 1-byte-payload object cost tens of wire bytes in the JDK.
+    out.writeU8(javatc::classDesc);
+    out.writeString(k->name());
+    out.writeVarU32(static_cast<std::uint32_t>(k->ownFields().size()));
+    for (const FieldDesc &f : k->ownFields()) {
+        out.writeString(f.name);
+        out.writeU8(static_cast<std::uint8_t>(fieldDescriptorChar(
+            f.type)));
+    }
+    writeClassDesc(const_cast<Klass *>(k->super()), out);
+}
+
+void
+JavaSerializer::writeRecord(Address obj, ByteSink &out)
+{
+    ManagedHeap &heap = env_.heap;
+    Klass *k = heap.klassOf(obj);
+
+    if (k->name() == "java.lang.String") {
+        // The JDK special-cases strings as UTF records.
+        out.writeU8(javatc::string);
+        ObjectBuilder builder(heap, env_.klasses);
+        out.writeString(builder.stringValue(obj));
+        reflectAccesses_ += 2; // value + hash lookups
+        out.writeI32(reflect::getField<std::int32_t>(heap, obj, "hash"));
+        return;
+    }
+
+    if (k->isArray()) {
+        out.writeU8(javatc::array);
+        writeClassDesc(k, out);
+        auto n = static_cast<std::size_t>(heap.arrayLength(obj));
+        out.writeVarU64(n);
+        if (k->elemType() == FieldType::Ref) {
+            for (std::size_t i = 0; i < n; ++i)
+                writeRefSlot(array::getRef(heap, obj, i), out);
+        } else {
+            // One call per element, as ObjectOutputStream does for
+            // non-byte arrays.
+            std::size_t sz = k->elemSize();
+            for (std::size_t i = 0; i < n; ++i) {
+                const void *p = reinterpret_cast<const void *>(
+                    obj + heap.arrayElemOffset(k, i));
+                out.write(p, sz);
+            }
+        }
+        return;
+    }
+
+    out.writeU8(javatc::object);
+    writeClassDesc(k, out);
+    for (const FieldDesc &f : k->fields()) {
+        ++reflectAccesses_;
+        switch (f.type) {
+          case FieldType::Boolean:
+          case FieldType::Byte:
+            out.writeU8(reflect::getField<std::uint8_t>(env_.heap, obj,
+                                                        f.name));
+            break;
+          case FieldType::Char:
+          case FieldType::Short:
+            out.writeU16(reflect::getField<std::uint16_t>(env_.heap,
+                                                          obj, f.name));
+            break;
+          case FieldType::Int:
+          case FieldType::Float:
+            out.writeU32(reflect::getField<std::uint32_t>(env_.heap,
+                                                          obj, f.name));
+            break;
+          case FieldType::Long:
+          case FieldType::Double:
+            out.writeU64(reflect::getField<std::uint64_t>(env_.heap,
+                                                          obj, f.name));
+            break;
+          case FieldType::Ref:
+            writeRefSlot(reflect::getRefField(env_.heap, obj, f.name),
+                         out);
+            break;
+        }
+    }
+}
+
+void
+JavaSerializer::writeObject(Address root, ByteSink &out)
+{
+    if (pendingReset_ ||
+        (resetInterval_ > 0 && writesSinceReset_ >= resetInterval_)) {
+        out.writeU8(javatc::reset);
+        clearWriteState();
+        writesSinceReset_ = 0;
+        pendingReset_ = false;
+    }
+    ++writesSinceReset_;
+
+    writeRefSlot(root, out);
+    while (!pending_.empty()) {
+        Address obj = pending_.front();
+        pending_.pop_front();
+        writeRecord(obj, out);
+    }
+    out.writeU8(javatc::endGraph);
+}
+
+Klass *
+JavaSerializer::readClassDesc(ByteSource &in)
+{
+    std::uint8_t tc = in.readU8();
+    if (tc == javatc::null)
+        return nullptr;
+    if (tc == javatc::classDescRef)
+        return descTable_[in.readVarU32()];
+    panicIf(tc != javatc::classDesc, "JavaSerializer: bad classdesc tag");
+
+    std::string name = in.readString();
+    // Reserve the descriptor slot before recursing on the super.
+    std::size_t slot = descTable_.size();
+    descTable_.push_back(nullptr);
+    std::uint32_t nfields = in.readVarU32();
+    for (std::uint32_t i = 0; i < nfields; ++i) {
+        in.readString(); // field name
+        in.readU8();     // type char
+    }
+    readClassDesc(in); // super descriptor (resolution is by name)
+    Klass *k = env_.klasses.load(name);
+    descTable_[slot] = k;
+    return k;
+}
+
+void
+JavaSerializer::readRefSlotInto(ByteSource &in, std::size_t holder_handle,
+                                std::size_t off)
+{
+    std::uint8_t tc = in.readU8();
+    if (tc == javatc::null) {
+        env_.heap.store<Address>(handles_->get(holder_handle), off,
+                                 nullAddr);
+        return;
+    }
+    panicIf(tc != javatc::reference, "JavaSerializer: bad ref tag");
+    std::size_t target = in.readVarU32();
+    if (target < handles_->size()) {
+        env_.heap.storeRef(handles_->get(holder_handle), off,
+                           handles_->get(target));
+    } else {
+        fixups_.push_back(Fixup{holder_handle, off, target});
+    }
+}
+
+Address
+JavaSerializer::readRecord(std::uint8_t tc, ByteSource &in)
+{
+    ManagedHeap &heap = env_.heap;
+
+    if (tc == javatc::string) {
+        ObjectBuilder builder(heap, env_.klasses);
+        std::string value = in.readString();
+        std::int32_t hash = in.readI32();
+        Address s = builder.makeString(value);
+        std::size_t handle = handles_->push(s);
+        reflect::setField<std::int32_t>(heap, handles_->get(handle),
+                                        "hash", hash);
+        return handles_->get(handle);
+    }
+
+    if (tc == javatc::array) {
+        Klass *k = readClassDesc(in);
+        std::size_t n = in.readVarU64();
+        Address arr = heap.allocateArray(k, n);
+        std::size_t handle = handles_->push(arr);
+        if (k->elemType() == FieldType::Ref) {
+            for (std::size_t i = 0; i < n; ++i)
+                readRefSlotInto(in, handle,
+                                heap.arrayElemOffset(k, i));
+        } else {
+            std::size_t sz = k->elemSize();
+            for (std::size_t i = 0; i < n; ++i) {
+                Address a = handles_->get(handle);
+                in.read(reinterpret_cast<void *>(
+                            a + heap.arrayElemOffset(k, i)),
+                        sz);
+            }
+        }
+        return handles_->get(handle);
+    }
+
+    panicIf(tc != javatc::object, "JavaSerializer: bad record tag");
+    Klass *k = readClassDesc(in);
+    Address obj = heap.allocateInstance(k);
+    std::size_t handle = handles_->push(obj);
+    for (const FieldDesc &f : k->fields()) {
+        ++reflectAccesses_;
+        Address cur = handles_->get(handle);
+        // Resolve the field reflectively (string lookup), as
+        // ObjectInputStream's field setters do.
+        const FieldDesc &rf = heap.klassOf(cur)->requireField(f.name);
+        switch (rf.type) {
+          case FieldType::Boolean:
+          case FieldType::Byte:
+            heap.store<std::uint8_t>(cur, rf.offset, in.readU8());
+            break;
+          case FieldType::Char:
+          case FieldType::Short:
+            heap.store<std::uint16_t>(cur, rf.offset, in.readU16());
+            break;
+          case FieldType::Int:
+          case FieldType::Float:
+            heap.store<std::uint32_t>(cur, rf.offset, in.readU32());
+            break;
+          case FieldType::Long:
+          case FieldType::Double:
+            heap.store<std::uint64_t>(cur, rf.offset, in.readU64());
+            break;
+          case FieldType::Ref:
+            readRefSlotInto(in, handle, rf.offset);
+            break;
+        }
+    }
+    return handles_->get(handle);
+}
+
+Address
+JavaSerializer::readObject(ByteSource &in)
+{
+    panicIf(in.atEnd(), "JavaSerializer: readObject past end of stream");
+    std::uint8_t tc = in.readU8();
+    if (tc == javatc::reset) {
+        clearReadState();
+        tc = in.readU8();
+    }
+    if (tc == javatc::null) {
+        std::uint8_t end = in.readU8();
+        panicIf(end != javatc::endGraph,
+                "JavaSerializer: malformed null graph");
+        return nullAddr;
+    }
+    panicIf(tc != javatc::reference, "JavaSerializer: bad root tag");
+    std::size_t rootHandle = in.readVarU32();
+
+    // Read records until the end-of-graph marker; record i creates the
+    // object for handle (base + i), matching the writer's FIFO order.
+    while (true) {
+        std::uint8_t tag = in.readU8();
+        if (tag == javatc::endGraph)
+            break;
+        panicIf(tag != javatc::string && tag != javatc::array &&
+                    tag != javatc::object,
+                "JavaSerializer: unexpected tag in graph body");
+        readRecord(tag, in);
+    }
+
+    // All records for this graph are present: apply forward fixups.
+    for (const Fixup &fx : fixups_) {
+        env_.heap.storeRef(handles_->get(fx.holder), fx.offset,
+                           handles_->get(fx.target));
+    }
+    fixups_.clear();
+
+    return handles_->get(rootHandle);
+}
+
+} // namespace skyway

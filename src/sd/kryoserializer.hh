@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The registration-based baseline serializer, modeled on Kryo (the
+ * library Spark recommends). Its cost structure differs from the Java
+ * serializer exactly as the paper describes (section 2.1):
+ *
+ *  - the developer registers classes *in the same order on every
+ *    node*, so the wire carries small integer class IDs instead of
+ *    descriptor strings;
+ *  - per-class serialization functions avoid string-keyed reflection:
+ *    either hand-written "manual" functions (the labor-intensive
+ *    option) or a FieldSerializer equivalent that iterates a cached,
+ *    pre-resolved field table;
+ *  - deserialization creates objects with plain allocation (the
+ *    `switch(id) { case 0: return new Date(); ... }` pattern);
+ *  - integers and sizes use varint/zigzag encoding, shrinking the
+ *    payload well below the Java serializer's fixed-width fields.
+ *
+ * Variants used in the JSBS bench: "kryo-manual" (reference tracking +
+ * manual functions), "kryo-opt" (no reference tracking, varints), and
+ * "kryo-flat" (no tracking, field-serializer only).
+ */
+
+#ifndef SKYWAY_SD_KRYOSERIALIZER_HH
+#define SKYWAY_SD_KRYOSERIALIZER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sd/serializer.hh"
+
+namespace skyway
+{
+
+class KryoSerializer;
+
+/** Hand-written per-class S/D functions (what Kryo users must write). */
+struct KryoManual
+{
+    /** Serialize the body of @p obj (class id already written). */
+    std::function<void(KryoSerializer &, Address obj, ByteSink &)> write;
+
+    /**
+     * Create and populate an instance; must push it into the handle
+     * table via KryoSerializer::adoptObject before reading nested
+     * references.
+     */
+    std::function<Address(KryoSerializer &, ByteSource &)> read;
+};
+
+/**
+ * The cluster-wide registration order. Sharing one KryoRegistry object
+ * between the factories of all nodes models the requirement that every
+ * node registers the same classes in the same order.
+ */
+class KryoRegistry
+{
+  public:
+    struct Entry
+    {
+        std::string className;
+        KryoManual manual; // empty functions => FieldSerializer
+    };
+
+    /** Register @p class_name; returns its class id. */
+    int registerClass(const std::string &class_name,
+                      KryoManual manual = {});
+
+    const std::vector<Entry> &entries() const { return entries_; }
+
+    /** The id for @p class_name, or -1 when unregistered. */
+    int idOf(const std::string &class_name) const;
+
+  private:
+    std::vector<Entry> entries_;
+    std::unordered_map<std::string, int> index_;
+};
+
+/** Install built-in registrations (String, boxes, common arrays). */
+void kryoRegisterBuiltins(KryoRegistry &registry);
+
+class KryoSerializer : public Serializer
+{
+  public:
+    /**
+     * @param env              node environment
+     * @param registry         shared registration order
+     * @param track_references when false, shared references are
+     *                         duplicated (Kryo's references=false
+     *                         fast path); cyclic graphs then hang,
+     *                         exactly as in Kryo
+     */
+    KryoSerializer(SdEnv env, const KryoRegistry &registry,
+                   bool track_references = true,
+                   std::string name = "kryo");
+
+    std::string name() const override { return name_; }
+
+    void writeObject(Address root, ByteSink &out) override;
+    Address readObject(ByteSource &in) override;
+    void reset() override;
+
+    /// @name API for manual serialization functions
+    /// @{
+
+    SdEnv &env() { return env_; }
+
+    /** Write a reference slot (enqueues unseen targets). */
+    void writeRefSlot(Address target, ByteSink &out);
+
+    /**
+     * Read a reference slot into @p (holder_handle, off); forward
+     * references are recorded as fixups.
+     */
+    void readRefSlotInto(ByteSource &in, std::size_t holder_handle,
+                         std::size_t off);
+
+    /** Adopt a freshly created object into the read handle table. */
+    std::size_t adoptObject(Address obj);
+
+    /** The rooted object behind read handle @p h. */
+    Address objectAt(std::size_t h) { return handles_->get(h); }
+
+    /// @}
+
+    /** Unregistered classes seen on the wire (a practicality smell). */
+    std::uint64_t unregisteredWrites() const { return unregistered_; }
+
+  private:
+    struct Resolved
+    {
+        Klass *klass = nullptr;
+        const KryoManual *manual = nullptr;
+    };
+
+    void writeRecord(Address obj, ByteSink &out);
+    void writeFields(Address obj, Klass *k, ByteSink &out);
+    void readRecord(std::uint32_t code, ByteSource &in);
+    void readFields(std::size_t handle, Klass *k, ByteSource &in);
+
+    /** Resolve a registered class id to this node's klass (cached). */
+    Resolved &resolve(int class_id);
+
+    SdEnv env_;
+    const KryoRegistry &registry_;
+    bool trackReferences_;
+    std::string name_;
+
+    std::unordered_map<Address, std::uint32_t> handleOf_;
+    std::uint32_t nextWriteHandle_ = 0;
+    std::deque<Address> pending_;
+
+    std::unique_ptr<LocalRoots> handles_;
+    struct Fixup
+    {
+        std::size_t holder;
+        std::size_t offset;
+        std::size_t target;
+    };
+    std::vector<Fixup> fixups_;
+
+    std::vector<Resolved> resolved_;
+    std::unordered_map<std::string, int> writeIdCache_;
+    std::uint64_t unregistered_ = 0;
+};
+
+/** Factory producing per-node Kryo instances over a shared registry. */
+class KryoSerializerFactory : public SerializerFactory
+{
+  public:
+    KryoSerializerFactory(std::shared_ptr<KryoRegistry> registry,
+                          bool track_references = true,
+                          std::string name = "kryo")
+        : registry_(std::move(registry)),
+          trackReferences_(track_references),
+          name_(std::move(name))
+    {}
+
+    std::string name() const override { return name_; }
+
+    std::unique_ptr<Serializer>
+    create(SdEnv env) override
+    {
+        return std::make_unique<KryoSerializer>(env, *registry_,
+                                                trackReferences_, name_);
+    }
+
+  private:
+    std::shared_ptr<KryoRegistry> registry_;
+    bool trackReferences_;
+    std::string name_;
+};
+
+} // namespace skyway
+
+#endif // SKYWAY_SD_KRYOSERIALIZER_HH

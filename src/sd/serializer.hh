@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The serializer framework: the interface every S/D implementation in
+ * the repository satisfies — the reflective Java-style serializer, the
+ * registration-based Kryo-style family, the schema-compiled JSBS
+ * baselines, and Skyway itself (whose "serializer" adapter wraps the
+ * heap-to-heap transfer so the dataflow substrates can swap it in
+ * where any other serializer goes, exactly as the paper swaps it into
+ * Spark and Flink).
+ */
+
+#ifndef SKYWAY_SD_SERIALIZER_HH
+#define SKYWAY_SD_SERIALIZER_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "heap/heap.hh"
+#include "heap/objectops.hh"
+#include "support/bytebuffer.hh"
+
+namespace skyway
+{
+
+/** The per-node environment a serializer operates in. */
+struct SdEnv
+{
+    ManagedHeap &heap;
+    KlassTable &klasses;
+};
+
+/**
+ * A bidirectional object-graph serializer bound to one node. Streams
+ * carry multiple top-level objects: repeated writeObject calls append
+ * to one sink, repeated readObject calls consume them in order, as
+ * java.io.ObjectOutputStream does.
+ */
+class Serializer
+{
+  public:
+    virtual ~Serializer() = default;
+
+    /** Stable name for reports ("java", "kryo-manual", "skyway", ...). */
+    virtual std::string name() const = 0;
+
+    /** Append the graph rooted at @p root to @p out. */
+    virtual void writeObject(Address root, ByteSink &out) = 0;
+
+    /** Read the next top-level object from @p in into the heap. */
+    virtual Address readObject(ByteSource &in) = 0;
+
+    /**
+     * Reset per-stream state (handle tables, descriptor caches)
+     * between independent streams, as ObjectOutputStream::reset().
+     */
+    virtual void reset() {}
+
+    /**
+     * Close out the stream bound to @p out. Byte-stream serializers
+     * need no terminator; Skyway flushes its output buffer and writes
+     * the end-of-stream marker.
+     */
+    virtual void endStream(ByteSink &out) { (void)out; }
+
+    /**
+     * Hook for shuffle-phase boundaries (Skyway's shuffleStart; a
+     * no-op for byte-stream serializers).
+     */
+    virtual void startPhase() {}
+
+    /**
+     * Release objects received in previous phases (Skyway's explicit
+     * input-buffer free; a no-op for byte-stream serializers whose
+     * products are ordinary garbage-collected objects). Callers must
+     * have finished consuming the previous phase's records.
+     */
+    virtual void releaseReceived() {}
+
+    /**
+     * True when objects returned by readObject live in pinned,
+     * immovable storage (Skyway input buffers): callers may hold raw
+     * addresses without GC roots until releaseReceived().
+     */
+    virtual bool receivedObjectsArePinned() const { return false; }
+};
+
+/**
+ * Creates per-node serializer instances. A factory captures the
+ * cluster-wide configuration (e.g., the Kryo registration order, which
+ * must be identical on every node) and binds it to each node's heap.
+ */
+class SerializerFactory
+{
+  public:
+    virtual ~SerializerFactory() = default;
+    virtual std::string name() const = 0;
+    virtual std::unique_ptr<Serializer> create(SdEnv env) = 0;
+};
+
+} // namespace skyway
+
+#endif // SKYWAY_SD_SERIALIZER_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Per-JVM Skyway state: the shuffle-phase counter driven by
+ * shuffleStart() (paper section 3.3), the post-transfer field-update
+ * registry (the registerUpdate API), and the Skyway-internal marker
+ * classes that delimit top-level objects inside buffers.
+ */
+
+#ifndef SKYWAY_SKYWAY_CONTEXT_HH
+#define SKYWAY_SKYWAY_CONTEXT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "heap/heap.hh"
+#include "klass/klass.hh"
+#include "typereg/registry.hh"
+
+namespace skyway
+{
+
+/**
+ * A registered post-transfer field update (paper section 3.3's
+ * registerUpdate): invoked on the receiving node for every transferred
+ * object of the given class, overwriting the given field.
+ */
+class FieldUpdateRegistry
+{
+  public:
+    using UpdateFn =
+        std::function<void(ManagedHeap &heap, Address obj,
+                           const FieldDesc &field)>;
+
+    void
+    registerUpdate(const std::string &class_name,
+                   const std::string &field_name, UpdateFn fn)
+    {
+        updates_[class_name].push_back({field_name, std::move(fn)});
+    }
+
+    /** Apply all updates registered for @p k to @p obj. */
+    void
+    apply(ManagedHeap &heap, const Klass *k, Address obj) const
+    {
+        auto it = updates_.find(k->name());
+        if (it == updates_.end())
+            return;
+        for (const auto &[fname, fn] : it->second)
+            fn(heap, obj, k->requireField(fname));
+    }
+
+    bool empty() const { return updates_.empty(); }
+
+  private:
+    std::unordered_map<
+        std::string,
+        std::vector<std::pair<std::string, UpdateFn>>>
+        updates_;
+};
+
+/**
+ * Per-JVM Skyway runtime state shared by all of the node's streams.
+ */
+class SkywayContext
+{
+  public:
+    SkywayContext(ManagedHeap &heap, KlassTable &klasses,
+                  TypeResolver &resolver)
+        : heap_(heap), klasses_(klasses), resolver_(resolver)
+    {
+        // Note: a heap *without* the baddr word can still receive
+        // Skyway transfers; only sending requires the extra header
+        // word, and SkywaySender enforces that.
+    }
+
+    ManagedHeap &heap() { return heap_; }
+    KlassTable &klasses() { return klasses_; }
+    TypeResolver &resolver() { return resolver_; }
+
+    /** The current shuffle-phase id (0 = before any phase). */
+    std::uint8_t currentSid() const { return sid_; }
+
+    /**
+     * Begin a new shuffle phase (the paper's shuffleStart API):
+     * invalidates every baddr stamped in earlier phases. The id lives
+     * in one header byte, so it wraps at 255; on wrap, objects whose
+     * baddr was written exactly 255 phases ago would alias — a full
+     * traversal 255 phases later is vanishingly unlikely in practice
+     * and tolerated here as in the paper.
+     */
+    std::uint8_t
+    shuffleStart()
+    {
+        sid_ = (sid_ == 255) ? 1 : sid_ + 1;
+        return sid_;
+    }
+
+    FieldUpdateRegistry &updates() { return updates_; }
+    const FieldUpdateRegistry &updates() const { return updates_; }
+
+    /**
+     * A fresh stream id. Every output stream — even two streams on
+     * the same thread — gets its own id, so a baddr claim is always
+     * attributable to exactly one output buffer. The id lives in two
+     * baddr bytes; when it wraps, a stream could otherwise mistake a
+     * claim made 65,536 streams ago for its own and emit a dangling
+     * backward reference — so the wrap opens a fresh shuffle phase,
+     * which invalidates every outstanding claim (streams still open
+     * across the bump merely re-copy shared objects; duplication is
+     * the existing cross-stream semantics, never corruption).
+     */
+    std::uint16_t
+    allocateStreamId()
+    {
+        std::uint16_t id = nextStreamId_++;
+        if (nextStreamId_ == 0) {
+            nextStreamId_ = 1;
+            shuffleStart();
+        }
+        return id;
+    }
+
+    /** The global type id for @p k, registering it if needed. */
+    std::int32_t
+    tidFor(Klass *k)
+    {
+        if (k->tid() == Klass::unregisteredTid)
+            k->setTid(resolver_.idForClass(k->name()));
+        return k->tid();
+    }
+
+  private:
+    ManagedHeap &heap_;
+    KlassTable &klasses_;
+    TypeResolver &resolver_;
+    std::uint8_t sid_ = 0;
+    std::uint16_t nextStreamId_ = 1;
+    FieldUpdateRegistry updates_;
+};
+
+} // namespace skyway
+
+#endif // SKYWAY_SKYWAY_CONTEXT_HH

@@ -1,0 +1,218 @@
+#include "skyway/inputbuffer.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "heap/objectops.hh"
+#include "skyway/baddr.hh"
+
+namespace skyway
+{
+
+InputBuffer::InputBuffer(SkywayContext &ctx, std::size_t chunk_bytes)
+    : ctx_(ctx),
+      heap_(ctx.heap()),
+      chunkBytes_(chunk_bytes),
+      fmt_(ctx.heap().format())
+{
+    panicIf(chunk_bytes < 4 * wordSize,
+            "InputBuffer: chunk size too small");
+}
+
+InputBuffer::~InputBuffer()
+{
+    free();
+}
+
+Klass *
+InputBuffer::klassForTid(std::int32_t tid)
+{
+    panicIf(tid < 0, "InputBuffer: negative type id");
+    auto idx = static_cast<std::size_t>(tid);
+    if (idx < tidCache_.size() && tidCache_[idx])
+        return tidCache_[idx];
+    Klass *k = ctx_.resolver().klassForId(tid);
+    panicIf(!k, "InputBuffer: unresolvable type id " +
+                    std::to_string(tid));
+    if (idx >= tidCache_.size())
+        tidCache_.resize(idx + 1, nullptr);
+    tidCache_[idx] = k;
+    return k;
+}
+
+std::size_t
+InputBuffer::recordSize(const std::uint8_t *rec, Klass *k) const
+{
+    if (!k->isArray())
+        return k->instanceBytes();
+    Word len;
+    std::memcpy(&len, rec + fmt_.arrayLengthOffset(), wordSize);
+    return k->arrayBytes(static_cast<std::size_t>(len));
+}
+
+void
+InputBuffer::newChunk(std::size_t at_least)
+{
+    std::size_t cap = std::max(chunkBytes_, at_least);
+    if (at_least > chunkBytes_)
+        ++stats_.oversizedChunks;
+    // Tenured allocation: input buffers live in the old generation.
+    // No zeroing: feed() fills the chunk with records and finalize()
+    // covers the tail with a filler before the GC can walk it.
+    Address base = heap_.allocateOldRaw(cap, false);
+    std::size_t pin = heap_.pinOldRange(base, cap);
+    chunks_.push_back(Chunk{base, cap, 0, logical_, pin});
+    ++stats_.chunksAllocated;
+}
+
+void
+InputBuffer::feed(const std::uint8_t *data, std::size_t len)
+{
+    panicIf(finalized_, "InputBuffer: feed after finalize");
+    std::size_t off = 0;
+    while (off < len) {
+        const std::uint8_t *rec = data + off;
+        // Marker words delimit top-level objects; they are consumed
+        // here and never placed in the heap (they occupy no logical
+        // address space). A real object's mark word can never match:
+        // its reserved bits are always zero.
+        Word first;
+        std::memcpy(&first, rec, wordSize);
+        if (marker::isMarker(first)) {
+            if (first == marker::topMark) {
+                // The next record is a top-level object.
+                pendingRoots_.push_back(RootSpec{false, logical_});
+                off += wordSize;
+            } else if (first == marker::backRef) {
+                Word slot;
+                std::memcpy(&slot, rec + wordSize, wordSize);
+                pendingRoots_.push_back(RootSpec{true, slot});
+                off += 2 * wordSize;
+            } else {
+                panic("InputBuffer: unknown marker word");
+            }
+            continue;
+        }
+
+        Word tid_word;
+        std::memcpy(&tid_word, rec + offsetKlass, wordSize);
+        Klass *k = klassForTid(static_cast<std::int32_t>(tid_word));
+        std::size_t size = recordSize(rec, k);
+        panicIf(off + size > len,
+                "InputBuffer: record spans a streamed segment");
+
+        if (chunks_.empty() ||
+            chunks_.back().fill + size > chunks_.back().cap)
+            newChunk(size);
+        Chunk &c = chunks_.back();
+        std::memcpy(reinterpret_cast<void *>(c.base + c.fill), rec,
+                    size);
+        c.fill += size;
+        logical_ += size;
+        off += size;
+        ++stats_.objectsReceived;
+        stats_.bytesReceived += size;
+    }
+}
+
+Address
+InputBuffer::resolveRel(std::uint64_t rel) const
+{
+    // Find the chunk whose logical range covers rel: chunks are
+    // ordered by firstLogical and may be partially filled.
+    auto it = std::upper_bound(
+        chunks_.begin(), chunks_.end(), rel,
+        [](std::uint64_t r, const Chunk &c) {
+            return r < c.firstLogical;
+        });
+    panicIf(it == chunks_.begin(), "InputBuffer: bad relative address");
+    --it;
+    std::uint64_t off = rel - it->firstLogical;
+    panicIf(off >= it->fill,
+            "InputBuffer: relative address outside chunk fill");
+    return it->base + off;
+}
+
+void
+InputBuffer::absolutizeChunk(Chunk &c)
+{
+    Address a = c.base;
+    Address end = c.base + c.fill;
+    bool have_updates = !ctx_.updates().empty();
+
+    while (a < end) {
+        Word tid_word = heap_.loadWord(a, offsetKlass);
+        Klass *k = klassForTid(static_cast<std::int32_t>(tid_word));
+        // Absolutize the type: registry view id -> local klass
+        // pointer.
+        heap_.storeWord(a, offsetKlass, reinterpret_cast<Word>(k));
+        std::size_t size = heap_.objectSize(a);
+
+        // Absolutize every reference slot: relative address a' maps
+        // to chunk_base + (a' - chunk_first_logical).
+        forEachRefSlot(heap_, a, [&](std::size_t off) {
+            Word slot = heap_.loadWord(a, off);
+            if (slot == 0)
+                return;
+            heap_.storeWord(a, off,
+                            static_cast<Word>(resolveRel(slot - 1)));
+            ++stats_.refsAbsolutized;
+        });
+
+        if (have_updates) {
+            ctx_.updates().apply(heap_, k, a);
+            ++stats_.fieldUpdatesApplied;
+        }
+        a += size;
+    }
+}
+
+void
+InputBuffer::finalize()
+{
+    panicIf(finalized_, "InputBuffer: finalize called twice");
+    for (Chunk &c : chunks_)
+        absolutizeChunk(c);
+
+    // Resolve the roots noted while streaming, in write order.
+    roots_.reserve(pendingRoots_.size());
+    for (const RootSpec &spec : pendingRoots_) {
+        if (!spec.isBackRef)
+            roots_.push_back(resolveRel(spec.value));
+        else if (spec.value == 0)
+            roots_.push_back(nullAddr);
+        else
+            roots_.push_back(resolveRel(spec.value - 1));
+    }
+    pendingRoots_.clear();
+
+    for (Chunk &c : chunks_) {
+        // Make the unreached tail walkable, tell the card table about
+        // the new old-generation pointers, and let the GC see the
+        // chunk as a sequence of live objects.
+        heap_.writeFillerAny(c.base + c.fill, c.cap - c.fill);
+        if (c.fill > 0)
+            heap_.dirtyCardRange(c.base, c.fill);
+        heap_.makePinWalkable(c.pin);
+    }
+    finalized_ = true;
+}
+
+const std::vector<Address> &
+InputBuffer::roots() const
+{
+    panicIf(!finalized_, "InputBuffer: roots() before finalize()");
+    return roots_;
+}
+
+void
+InputBuffer::free()
+{
+    if (freed_)
+        return;
+    for (Chunk &c : chunks_)
+        heap_.unpinOldRange(c.pin);
+    freed_ = true;
+}
+
+} // namespace skyway

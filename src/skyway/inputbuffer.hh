@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Skyway input buffers (paper section 4.3). One buffer per (sender,
+ * stream); allocated in the *managed heap's old generation* so that
+ * transferred objects are heap objects the moment they arrive. The
+ * buffer is a linked list of fixed-size chunks — the total transfer
+ * size is unknown while streaming, and large contiguous allocations
+ * would fragment the old generation. An object never spans chunks;
+ * oversized chunks are created for objects larger than the regular
+ * chunk size.
+ *
+ * While streaming, chunks are pinned *opaque* (klass words still hold
+ * type IDs, references are still relative), so the GC neither walks
+ * nor frees them. finalize() runs the single linear absolutization
+ * pass: klass IDs become klass pointers via the registry view,
+ * relative references become absolute addresses via the chunk
+ * translation (find chunk i containing relative address a, add chunk
+ * base, account for partially filled chunks), registered field
+ * updates are applied, the card table is updated for the new
+ * pointers, and the chunks become pinned *walkable* — live until the
+ * developer frees the buffer.
+ */
+
+#ifndef SKYWAY_SKYWAY_INPUTBUFFER_HH
+#define SKYWAY_SKYWAY_INPUTBUFFER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "skyway/context.hh"
+
+namespace skyway
+{
+
+/** Default input-buffer chunk size (user-tunable per the paper). */
+constexpr std::size_t defaultInputChunkBytes = 256 << 10;
+
+/** Receiver-side statistics. */
+struct SkywayReceiveStats
+{
+    std::uint64_t objectsReceived = 0;
+    std::uint64_t bytesReceived = 0;
+    std::uint64_t chunksAllocated = 0;
+    std::uint64_t oversizedChunks = 0;
+    std::uint64_t refsAbsolutized = 0;
+    std::uint64_t fieldUpdatesApplied = 0;
+};
+
+class InputBuffer
+{
+  public:
+    /**
+     * @param ctx         the receiving JVM's Skyway state
+     * @param chunk_bytes regular chunk size
+     */
+    explicit InputBuffer(SkywayContext &ctx,
+                         std::size_t chunk_bytes =
+                             defaultInputChunkBytes);
+
+    /** Unpinning on destruction is equivalent to free(). */
+    ~InputBuffer();
+
+    InputBuffer(const InputBuffer &) = delete;
+    InputBuffer &operator=(const InputBuffer &) = delete;
+
+    /**
+     * Ingest a streamed segment. Segments contain whole records (the
+     * sender never splits a record across flushes).
+     */
+    void feed(const std::uint8_t *data, std::size_t len);
+
+    /**
+     * The single linear absolutization pass; call once streaming has
+     * finished. Computation on the buffer must block until this
+     * completes.
+     */
+    void finalize();
+
+    bool finalized() const { return finalized_; }
+
+    /**
+     * The top-level objects, in the order the sender wrote them
+     * (recovered from top marks and backward references — no receiver
+     * graph traversal).
+     */
+    const std::vector<Address> &roots() const;
+
+    /** Developer API: release the buffer to the collector. */
+    void free();
+
+    std::size_t chunkCount() const { return chunks_.size(); }
+    std::uint64_t totalBytes() const { return logical_; }
+    const SkywayReceiveStats &stats() const { return stats_; }
+
+  private:
+    struct Chunk
+    {
+        Address base;
+        std::size_t cap;
+        std::size_t fill;
+        std::uint64_t firstLogical;
+        std::size_t pin;
+    };
+
+    /** Resolve a klass from a wire type id (cached). */
+    Klass *klassForTid(std::int32_t tid);
+
+    /** Translate a relative address to its absolute heap address. */
+    Address resolveRel(std::uint64_t rel) const;
+
+    /** Size of the record whose bytes start at @p rec (local format). */
+    std::size_t recordSize(const std::uint8_t *rec, Klass *k) const;
+
+    void newChunk(std::size_t at_least);
+    void absolutizeChunk(Chunk &c);
+
+    SkywayContext &ctx_;
+    ManagedHeap &heap_;
+    std::size_t chunkBytes_;
+    ObjectFormat fmt_;
+
+    std::vector<Chunk> chunks_;
+    std::uint64_t logical_ = 0;
+    bool finalized_ = false;
+    bool freed_ = false;
+
+    /**
+     * Roots noted while streaming, resolved to addresses at
+     * finalize(): a top mark names the logical offset of the record
+     * that follows it; a backward reference carries an encoded slot
+     * (0 = null).
+     */
+    struct RootSpec
+    {
+        bool isBackRef;
+        std::uint64_t value;
+    };
+    std::vector<RootSpec> pendingRoots_;
+
+    std::vector<Address> roots_;
+    /** Dense tid -> klass cache (global ids are small and dense). */
+    mutable std::vector<Klass *> tidCache_;
+    SkywayReceiveStats stats_;
+};
+
+} // namespace skyway
+
+#endif // SKYWAY_SKYWAY_INPUTBUFFER_HH

@@ -1,0 +1,48 @@
+#include "skyway/jvm.hh"
+
+namespace skyway
+{
+
+ClassCatalog
+makeStandardCatalog()
+{
+    ClassCatalog catalog;
+    defineBootstrapClasses(catalog);
+    return catalog;
+}
+
+Jvm::Jvm(const ClassCatalog &catalog, ClusterNetwork &net, NodeId id,
+         NodeId driver_id, HeapConfig heap_config)
+    : id_(id),
+      net_(net),
+      klasses_(catalog, heap_config.format),
+      heap_(heap_config),
+      gc_(heap_),
+      builder_(heap_, klasses_),
+      disk_()
+{
+    if (id == driver_id)
+        driver_ = std::make_unique<TypeRegistryDriver>(net, id, klasses_);
+    else
+        worker_ = std::make_unique<TypeRegistryWorker>(net, id, driver_id,
+                                                       klasses_);
+    skyway_ = std::make_unique<SkywayContext>(heap_, klasses_,
+                                              resolver());
+}
+
+TypeResolver &
+Jvm::resolver()
+{
+    if (driver_)
+        return *driver_;
+    return *worker_;
+}
+
+TypeRegistryDriver &
+Jvm::registryDriver()
+{
+    panicIf(!driver_, "registryDriver() on a worker node");
+    return *driver_;
+}
+
+} // namespace skyway

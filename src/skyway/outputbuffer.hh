@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Skyway output buffers (paper section 3.2): per-destination buffers
+ * in *native* (off-heap) memory — they must not interact with the GC,
+ * which could otherwise reclaim objects before they are sent — with
+ * streaming: the buffer flushes to its sink whenever the next record
+ * does not fit, and `flushedBytes` tracks how much logical address
+ * space has already left the buffer (Algorithm 2, line 10).
+ *
+ * Records never span a flush boundary, so every flushed segment is a
+ * whole number of object records; the receiver relies on this when
+ * placing records into heap chunks.
+ */
+
+#ifndef SKYWAY_SKYWAY_OUTPUTBUFFER_HH
+#define SKYWAY_SKYWAY_OUTPUTBUFFER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/types.hh"
+
+namespace skyway
+{
+
+/** Default output-buffer capacity (tunable per stream). */
+constexpr std::size_t defaultOutputBufferBytes = 256 << 10;
+
+class OutputBuffer
+{
+  public:
+    /** Sink for flushed segments (disk file, socket, test vector). */
+    using FlushFn =
+        std::function<void(const std::uint8_t *data, std::size_t len)>;
+
+    OutputBuffer(std::size_t capacity, FlushFn flush)
+        : buf_(std::make_unique_for_overwrite<std::uint8_t[]>(
+              capacity)),
+          cap_(capacity),
+          flush_(std::move(flush))
+    {
+        panicIf(capacity < 64, "OutputBuffer: capacity too small");
+    }
+
+    /** Logical end of the buffer: where the next record will go. */
+    std::uint64_t allocableAddr() const { return allocable_; }
+
+    /** Claim @p bytes of logical space for a discovered object. */
+    std::uint64_t
+    claim(std::size_t bytes)
+    {
+        std::uint64_t addr = allocable_;
+        allocable_ += bytes;
+        return addr;
+    }
+
+    /** Logical bytes already streamed out. */
+    std::uint64_t flushedBytes() const { return flushed_; }
+
+    /**
+     * Return a pointer to physical space for the record at logical
+     * address @p addr of @p bytes. Writes must be sequential (clone
+     * order equals claim order under the BFS); flushes as needed.
+     */
+    std::uint8_t *
+    writeAt(std::uint64_t addr, std::size_t bytes)
+    {
+        panicIf(addr != logicalWritten_,
+                "OutputBuffer: non-sequential record write");
+        logicalWritten_ += bytes;
+        return reserve(bytes);
+    }
+
+    /**
+     * Append marker words to the physical stream *without* consuming
+     * logical address space: the receiver strips markers before
+     * placing records, so relative addresses ignore them (the
+     * paper's top marks are delimiters, not objects).
+     */
+    void
+    writeMarker(const Word *words, std::size_t n)
+    {
+        std::uint8_t *p = reserve(n * wordSize);
+        std::memcpy(p, words, n * wordSize);
+    }
+
+    /** Force out whatever the buffer holds. */
+    void
+    flushNow()
+    {
+        if (used_ == 0)
+            return;
+        flush_(buf_.get(), used_);
+        flushed_ += used_;
+        used_ = 0;
+    }
+
+    /** Total logical bytes produced so far (streamed + resident). */
+    std::uint64_t totalBytes() const { return flushed_ + used_; }
+
+  private:
+    /** Whole-unit physical append (flushing first when full). */
+    std::uint8_t *
+    reserve(std::size_t bytes)
+    {
+        if (used_ + bytes > cap_) {
+            flushNow();
+            if (bytes > cap_) {
+                // Oversized record: grow the (native) buffer.
+                buf_ = std::make_unique_for_overwrite<
+                    std::uint8_t[]>(bytes);
+                cap_ = bytes;
+            }
+        }
+        std::uint8_t *p = buf_.get() + used_;
+        used_ += bytes;
+        return p;
+    }
+
+    std::unique_ptr<std::uint8_t[]> buf_;
+    std::size_t cap_;
+    FlushFn flush_;
+    std::uint64_t allocable_ = 0;
+    std::uint64_t flushed_ = 0;
+    std::uint64_t logicalWritten_ = 0;
+    std::size_t used_ = 0;
+};
+
+} // namespace skyway
+
+#endif // SKYWAY_SKYWAY_OUTPUTBUFFER_HH

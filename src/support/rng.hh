@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload generators.
+ * All generators in the repository take explicit seeds so that every
+ * experiment is exactly reproducible.
+ */
+
+#ifndef SKYWAY_SUPPORT_RNG_HH
+#define SKYWAY_SUPPORT_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace skyway
+{
+
+/** splitmix64: used to expand a single seed into generator state. */
+inline std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** — a small, fast, high-quality PRNG. Deliberately not
+ * std::mt19937 so the stream is stable across standard libraries.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed)
+    {
+        std::uint64_t sm = seed;
+        for (auto &w : s_)
+            w = splitmix64(sm);
+    }
+
+    std::uint64_t
+    nextU64()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free approximation is fine
+        // for workload generation.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(nextU64()) * bound) >> 64);
+    }
+
+    std::uint32_t nextU32() { return static_cast<std::uint32_t>(nextU64()); }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return (nextU64() >> 11) * 0x1.0p-53;
+    }
+
+    /**
+     * A draw from a discrete power-law distribution over [0, n):
+     * P(k) proportional to (k + shift)^-alpha. The shift flattens the
+     * head of the distribution — without it the single top item
+     * absorbs a constant fraction of all draws, which no real-world
+     * degree distribution does. Used to give synthetic graphs a
+     * realistic skewed (but not degenerate) degree distribution.
+     */
+    std::uint64_t
+    nextPowerLaw(std::uint64_t n, double alpha, double shift = 1.0)
+    {
+        // Inverse-transform sampling on the continuous approximation
+        // over [shift, n + shift), then shifted back.
+        double u = nextDouble();
+        double exp = 1.0 - alpha;
+        double lo = std::pow(shift, exp);
+        double hi = std::pow(static_cast<double>(n) + shift, exp);
+        double x = std::pow(u * (hi - lo) + lo, 1.0 / exp) - shift;
+        if (x < 0)
+            x = 0;
+        auto k = static_cast<std::uint64_t>(x);
+        return k >= n ? n - 1 : k;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4];
+};
+
+} // namespace skyway
+
+#endif // SKYWAY_SUPPORT_RNG_HH

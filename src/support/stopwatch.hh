@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Monotonic CPU stopwatch used to measure the *real* cost of the
+ * serialization, deserialization, and heap-traversal code paths. I/O
+ * costs, by contrast, are charged through the iomodel cost models.
+ */
+
+#ifndef SKYWAY_SUPPORT_STOPWATCH_HH
+#define SKYWAY_SUPPORT_STOPWATCH_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace skyway
+{
+
+/** Nanosecond-resolution monotonic timer. */
+class Stopwatch
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    Stopwatch() : start_(Clock::now()) {}
+
+    void reset() { start_ = Clock::now(); }
+
+    /** Nanoseconds elapsed since construction or the last reset(). */
+    std::uint64_t
+    elapsedNs() const
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Clock::now() - start_)
+            .count();
+    }
+
+  private:
+    Clock::time_point start_;
+};
+
+/** Accumulate elapsed time into a counter on scope exit (RAII). */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(std::uint64_t &accum) : accum_(accum) {}
+    ~ScopedTimer() { accum_ += sw_.elapsedNs(); }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    std::uint64_t &accum_;
+    Stopwatch sw_;
+};
+
+} // namespace skyway
+
+#endif // SKYWAY_SUPPORT_STOPWATCH_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fundamental type aliases shared across the Skyway runtime.
+ */
+
+#ifndef SKYWAY_SUPPORT_TYPES_HH
+#define SKYWAY_SUPPORT_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace skyway
+{
+
+/**
+ * A managed-heap reference. In HotSpot this would be an `oop`; here it is
+ * the byte address of an object header inside a node's heap arena. The
+ * value 0 plays the role of Java's `null`.
+ */
+using Address = std::uintptr_t;
+
+/** The null reference. */
+constexpr Address nullAddr = 0;
+
+/** A 64-bit heap word, the unit of object headers and reference slots. */
+using Word = std::uint64_t;
+
+/** Size of a heap word in bytes. All objects are word-aligned. */
+constexpr std::size_t wordSize = sizeof(Word);
+
+/** Round @p n up to the next multiple of @p align (a power of two). */
+constexpr std::size_t
+alignUp(std::size_t n, std::size_t align)
+{
+    return (n + align - 1) & ~(align - 1);
+}
+
+/** Round @p n up to the next heap-word boundary. */
+constexpr std::size_t
+wordAlign(std::size_t n)
+{
+    return alignUp(n, wordSize);
+}
+
+} // namespace skyway
+
+#endif // SKYWAY_SUPPORT_TYPES_HH

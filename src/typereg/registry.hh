@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Global class numbering (paper section 4.1, Algorithm 1).
+ *
+ * The driver JVM owns the authoritative type registry mapping class
+ * name strings to dense integer IDs. Each worker JVM keeps a *registry
+ * view* — a subset of the driver's registry. At startup a worker pulls
+ * the full current registry ("REQUEST_VIEW"); when its class loader
+ * loads a class missing from the view it asks the driver ("LOOKUP"),
+ * which registers the class on first sight. The assigned ID is cached
+ * in the klass meta object (Klass::setTid), so the sender writes IDs
+ * into object headers without any string traffic; a class-name string
+ * crosses the wire at most once per class per machine.
+ *
+ * Receiver-side, a type ID found in an input buffer resolves through
+ * the view; a stale view (the ID was assigned after the view was
+ * pulled) triggers a reverse lookup ("LOOKUP_NAME") and, when the
+ * class has never been loaded locally, instructs the class loader to
+ * load it by name.
+ */
+
+#ifndef SKYWAY_TYPEREG_REGISTRY_HH
+#define SKYWAY_TYPEREG_REGISTRY_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "klass/klass.hh"
+#include "net/cluster.hh"
+
+namespace skyway
+{
+
+/** Message tags for the registry protocol. */
+namespace regmsg
+{
+constexpr int requestView = 101;
+constexpr int lookup = 102;
+constexpr int lookupName = 103;
+} // namespace regmsg
+
+/**
+ * Both ends of the protocol expose this interface so the Skyway
+ * sender/receiver code is agnostic to whether it runs on the driver.
+ */
+class TypeResolver
+{
+  public:
+    virtual ~TypeResolver() = default;
+
+    /** The global ID for class @p name (registering on the driver). */
+    virtual std::int32_t idForClass(const std::string &name) = 0;
+
+    /** The class name behind @p id. */
+    virtual std::string nameForId(std::int32_t id) = 0;
+
+    /**
+     * Resolve @p id to this node's klass meta object, loading the
+     * class on first encounter.
+     */
+    virtual Klass *klassForId(std::int32_t id) = 0;
+};
+
+/** Registry traffic statistics (tests assert the at-most-once claim). */
+struct RegistryStats
+{
+    std::uint64_t viewRequestsServed = 0;
+    std::uint64_t lookupsServed = 0;
+    std::uint64_t reverseLookupsServed = 0;
+    std::uint64_t remoteLookupsIssued = 0;
+    std::uint64_t classStringsSent = 0;
+};
+
+/**
+ * The driver-side registry (Algorithm 1, driver program). Registers a
+ * request handler on the cluster network; also acts as the driver
+ * JVM's own resolver.
+ */
+class TypeRegistryDriver : public TypeResolver
+{
+  public:
+    /**
+     * @param net      cluster fabric to serve requests on
+     * @param node     the driver's node id
+     * @param klasses  the driver JVM's klass table; already-loaded
+     *                 classes are numbered immediately (Algorithm 1
+     *                 lines 4-8) and future loads hook in
+     */
+    TypeRegistryDriver(ClusterNetwork &net, NodeId node,
+                       KlassTable &klasses);
+
+    std::int32_t idForClass(const std::string &name) override;
+    std::string nameForId(std::int32_t id) override;
+    Klass *klassForId(std::int32_t id) override;
+
+    /** Number of classes registered cluster-wide. */
+    std::size_t size() const { return names_.size(); }
+
+    const RegistryStats &stats() const { return stats_; }
+
+    /** Serialize the full registry (the REQUEST_VIEW reply). */
+    std::vector<std::uint8_t> encodeView() const;
+
+  private:
+    std::vector<std::uint8_t> handle(NodeId src, int tag,
+                                     const std::vector<std::uint8_t> &
+                                         payload);
+
+    ClusterNetwork &net_;
+    NodeId node_;
+    KlassTable &klasses_;
+    std::unordered_map<std::string, std::int32_t> registry_;
+    std::vector<std::string> names_; // id -> name
+    RegistryStats stats_;
+};
+
+/**
+ * The worker-side registry view (Algorithm 1, worker program).
+ */
+class TypeRegistryWorker : public TypeResolver
+{
+  public:
+    /**
+     * Pulls the initial view from the driver and installs the
+     * class-loading hook on @p klasses.
+     */
+    TypeRegistryWorker(ClusterNetwork &net, NodeId node, NodeId driver,
+                       KlassTable &klasses);
+
+    std::int32_t idForClass(const std::string &name) override;
+    std::string nameForId(std::int32_t id) override;
+    Klass *klassForId(std::int32_t id) override;
+
+    std::size_t viewSize() const { return view_.size(); }
+    const RegistryStats &stats() const { return stats_; }
+
+  private:
+    void insertView(const std::string &name, std::int32_t id);
+
+    ClusterNetwork &net_;
+    NodeId node_;
+    NodeId driver_;
+    KlassTable &klasses_;
+    std::unordered_map<std::string, std::int32_t> view_;
+    std::unordered_map<std::int32_t, std::string> idToName_;
+    RegistryStats stats_;
+};
+
+} // namespace skyway
+
+#endif // SKYWAY_TYPEREG_REGISTRY_HH

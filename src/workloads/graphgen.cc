@@ -1,0 +1,96 @@
+#include "workloads/graphgen.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace skyway
+{
+
+GraphSpec
+liveJournalShaped(double scale)
+{
+    return GraphSpec{"LJ",
+                     static_cast<std::uint32_t>(24000 * scale),
+                     static_cast<std::uint64_t>(345000 * scale),
+                     2.1, 4801, "Social network (LiveJournal-shaped)"};
+}
+
+GraphSpec
+orkutShaped(double scale)
+{
+    return GraphSpec{"OR",
+                     static_cast<std::uint32_t>(15000 * scale),
+                     static_cast<std::uint64_t>(585000 * scale),
+                     2.0, 4802, "Social network (Orkut-shaped)"};
+}
+
+GraphSpec
+uk2005Shaped(double scale)
+{
+    return GraphSpec{"UK",
+                     static_cast<std::uint32_t>(98000 * scale),
+                     static_cast<std::uint64_t>(2340000 * scale),
+                     2.3, 4803, "Web graph (UK-2005-shaped)"};
+}
+
+GraphSpec
+twitter2010Shaped(double scale)
+{
+    return GraphSpec{"TW",
+                     static_cast<std::uint32_t>(104000 * scale),
+                     static_cast<std::uint64_t>(3750000 * scale),
+                     1.9, 4804, "Social network (Twitter-2010-shaped)"};
+}
+
+std::vector<GraphSpec>
+table1Graphs(double scale)
+{
+    return {liveJournalShaped(scale), orkutShaped(scale),
+            uk2005Shaped(scale), twitter2010Shaped(scale)};
+}
+
+EdgeList
+generateGraph(const GraphSpec &spec)
+{
+    panicIf(spec.vertices < 2, "generateGraph: too few vertices");
+    EdgeList out;
+    out.numVertices = spec.vertices;
+    out.edges.reserve(spec.edges);
+    Rng rng(spec.seed);
+    while (out.edges.size() < spec.edges) {
+        auto u = static_cast<std::uint32_t>(
+            rng.nextPowerLaw(spec.vertices, spec.alpha, spec.shift));
+        auto v = static_cast<std::uint32_t>(
+            rng.nextPowerLaw(spec.vertices, spec.alpha, spec.shift));
+        // Scatter one endpoint uniformly so the graph is not a clique
+        // among hubs; keeps a heavy-tailed degree distribution while
+        // spreading the edge set over all vertices.
+        if (rng.nextBounded(2) == 0)
+            v = static_cast<std::uint32_t>(
+                rng.nextBounded(spec.vertices));
+        if (u == v)
+            continue;
+        out.edges.emplace_back(u, v);
+    }
+    return out;
+}
+
+std::vector<std::vector<std::uint32_t>>
+buildAdjacency(const EdgeList &graph)
+{
+    std::vector<std::vector<std::uint32_t>> adj(graph.numVertices);
+    for (auto [u, v] : graph.edges) {
+        adj[u].push_back(v);
+        adj[v].push_back(u);
+    }
+    // Sort and deduplicate each neighbour list: workloads (notably
+    // TriangleCounting) rely on set semantics.
+    for (auto &list : adj) {
+        std::sort(list.begin(), list.end());
+        list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+    return adj;
+}
+
+} // namespace skyway

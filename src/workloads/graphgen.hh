@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Synthetic graph generators standing in for the paper's real-world
+ * inputs (Table 1: LiveJournal, Orkut, UK-2005, Twitter-2010). The
+ * originals are 69M-1.5B edges; here each is generated at roughly
+ * 1/100-1/1000 scale with a power-law degree distribution, preserving
+ * what the evaluation depends on: skewed degrees and the relative
+ * size ordering LJ < OR < UK < TW. Every generator is seeded and
+ * deterministic.
+ */
+
+#ifndef SKYWAY_WORKLOADS_GRAPHGEN_HH
+#define SKYWAY_WORKLOADS_GRAPHGEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hh"
+
+namespace skyway
+{
+
+/** Generation parameters for one synthetic graph. */
+struct GraphSpec
+{
+    std::string name;
+    std::uint32_t vertices;
+    std::uint64_t edges;
+    double alpha;        // power-law exponent of the degree draw
+    std::uint64_t seed;
+    std::string description;
+    /** Head-flattening shift of the power law (see Rng). */
+    double shift = 150.0;
+};
+
+/** Table 1 stand-ins (default scale; multiply by --scale in benches). */
+GraphSpec liveJournalShaped(double scale = 1.0);
+GraphSpec orkutShaped(double scale = 1.0);
+GraphSpec uk2005Shaped(double scale = 1.0);
+GraphSpec twitter2010Shaped(double scale = 1.0);
+
+/** All four, in Table 1 order. */
+std::vector<GraphSpec> table1Graphs(double scale = 1.0);
+
+/** An undirected edge list with vertices [0, numVertices). */
+struct EdgeList
+{
+    std::uint32_t numVertices = 0;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+};
+
+/**
+ * Generate the edge list for @p spec: endpoints drawn from a
+ * power-law over the vertex id space (low ids are hubs), self-loops
+ * rejected, duplicates tolerated (real crawls contain them too).
+ */
+EdgeList generateGraph(const GraphSpec &spec);
+
+/** Per-vertex adjacency built from an edge list (both directions). */
+std::vector<std::vector<std::uint32_t>>
+buildAdjacency(const EdgeList &graph);
+
+} // namespace skyway
+
+#endif // SKYWAY_WORKLOADS_GRAPHGEN_HH

@@ -1,0 +1,1497 @@
+#include "workloads/jsbs_family.hh"
+
+namespace skyway
+{
+
+MediaValues
+extractMedia(SdEnv &env, const MediaSchema &s, Address content)
+{
+    ManagedHeap &h = env.heap;
+    ObjectBuilder builder(env.heap, env.klasses);
+    MediaValues v;
+
+    Address media = field::getRef(h, content, *s.cMedia);
+    v.uri = builder.stringValue(field::getRef(h, media, *s.mUri));
+    v.title = builder.stringValue(field::getRef(h, media, *s.mTitle));
+    v.width = field::get<std::int32_t>(h, media, *s.mWidth);
+    v.height = field::get<std::int32_t>(h, media, *s.mHeight);
+    v.format = builder.stringValue(field::getRef(h, media, *s.mFormat));
+    v.duration = field::get<std::int64_t>(h, media, *s.mDuration);
+    v.size = field::get<std::int64_t>(h, media, *s.mSize);
+    v.bitrate = field::get<std::int32_t>(h, media, *s.mBitrate);
+    v.hasBitrate =
+        field::get<std::uint8_t>(h, media, *s.mHasBitrate) != 0;
+    v.player = field::get<std::int32_t>(h, media, *s.mPlayer);
+    v.copyright =
+        builder.stringValue(field::getRef(h, media, *s.mCopyright));
+
+    Address persons = field::getRef(h, media, *s.mPersons);
+    auto np = static_cast<std::size_t>(h.arrayLength(persons));
+    for (std::size_t i = 0; i < np; ++i)
+        v.persons.push_back(
+            builder.stringValue(array::getRef(h, persons, i)));
+
+    Address images = field::getRef(h, content, *s.cImages);
+    auto ni = static_cast<std::size_t>(h.arrayLength(images));
+    for (std::size_t i = 0; i < ni; ++i) {
+        Address img = array::getRef(h, images, i);
+        MediaValues::Img out;
+        out.uri = builder.stringValue(field::getRef(h, img, *s.iUri));
+        out.title =
+            builder.stringValue(field::getRef(h, img, *s.iTitle));
+        out.width = field::get<std::int32_t>(h, img, *s.iWidth);
+        out.height = field::get<std::int32_t>(h, img, *s.iHeight);
+        out.size = field::get<std::int32_t>(h, img, *s.iSize);
+        v.images.push_back(std::move(out));
+    }
+    return v;
+}
+
+MediaValues
+extractMediaReflective(SdEnv &env, Address content)
+{
+    // The *-generic path: every field resolved by name at run time.
+    ManagedHeap &h = env.heap;
+    ObjectBuilder builder(env.heap, env.klasses);
+    MediaValues v;
+
+    Address media = reflect::getRefField(h, content, "media");
+    v.uri = builder.stringValue(reflect::getRefField(h, media, "uri"));
+    v.title =
+        builder.stringValue(reflect::getRefField(h, media, "title"));
+    v.width = reflect::getField<std::int32_t>(h, media, "width");
+    v.height = reflect::getField<std::int32_t>(h, media, "height");
+    v.format =
+        builder.stringValue(reflect::getRefField(h, media, "format"));
+    v.duration = reflect::getField<std::int64_t>(h, media, "duration");
+    v.size = reflect::getField<std::int64_t>(h, media, "size");
+    v.bitrate = reflect::getField<std::int32_t>(h, media, "bitrate");
+    v.hasBitrate =
+        reflect::getField<std::uint8_t>(h, media, "hasBitrate") != 0;
+    v.player = reflect::getField<std::int32_t>(h, media, "player");
+    v.copyright = builder.stringValue(
+        reflect::getRefField(h, media, "copyright"));
+
+    Address persons = reflect::getRefField(h, media, "persons");
+    auto np = static_cast<std::size_t>(h.arrayLength(persons));
+    for (std::size_t i = 0; i < np; ++i)
+        v.persons.push_back(
+            builder.stringValue(array::getRef(h, persons, i)));
+
+    Address images = reflect::getRefField(h, content, "images");
+    auto ni = static_cast<std::size_t>(h.arrayLength(images));
+    for (std::size_t i = 0; i < ni; ++i) {
+        Address img = array::getRef(h, images, i);
+        MediaValues::Img out;
+        out.uri =
+            builder.stringValue(reflect::getRefField(h, img, "uri"));
+        out.title =
+            builder.stringValue(reflect::getRefField(h, img, "title"));
+        out.width = reflect::getField<std::int32_t>(h, img, "width");
+        out.height = reflect::getField<std::int32_t>(h, img, "height");
+        out.size = reflect::getField<std::int32_t>(h, img, "size");
+        v.images.push_back(std::move(out));
+    }
+    return v;
+}
+
+Address
+materializeMedia(SdEnv &env, const MediaSchema &s,
+                 const MediaValues &v)
+{
+    ManagedHeap &h = env.heap;
+    ObjectBuilder builder(env.heap, env.klasses);
+    LocalRoots roots(h);
+
+    auto str = [&](const std::string &x) {
+        return roots.push(builder.makeString(x));
+    };
+
+    std::size_t ruri = str(v.uri), rtitle = str(v.title),
+                rformat = str(v.format), rcopy = str(v.copyright);
+    std::vector<std::size_t> rpersons;
+    for (const auto &p : v.persons)
+        rpersons.push_back(str(p));
+
+    std::size_t rparr =
+        roots.push(h.allocateArray(s.stringArray, v.persons.size()));
+    for (std::size_t i = 0; i < rpersons.size(); ++i)
+        array::setRef(h, roots.get(rparr), i, roots.get(rpersons[i]));
+
+    std::size_t rmedia = roots.push(h.allocateInstance(s.media));
+    {
+        Address m = roots.get(rmedia);
+        field::setRef(h, m, *s.mUri, roots.get(ruri));
+        field::setRef(h, m, *s.mTitle, roots.get(rtitle));
+        field::set<std::int32_t>(h, m, *s.mWidth, v.width);
+        field::set<std::int32_t>(h, m, *s.mHeight, v.height);
+        field::setRef(h, m, *s.mFormat, roots.get(rformat));
+        field::set<std::int64_t>(h, m, *s.mDuration, v.duration);
+        field::set<std::int64_t>(h, m, *s.mSize, v.size);
+        field::set<std::int32_t>(h, m, *s.mBitrate, v.bitrate);
+        field::set<std::uint8_t>(h, m, *s.mHasBitrate,
+                                 v.hasBitrate ? 1 : 0);
+        field::setRef(h, m, *s.mPersons, roots.get(rparr));
+        field::set<std::int32_t>(h, m, *s.mPlayer, v.player);
+        field::setRef(h, m, *s.mCopyright, roots.get(rcopy));
+    }
+
+    std::vector<std::size_t> rimgs;
+    for (const auto &img : v.images) {
+        std::size_t riuri = str(img.uri), rititle = str(img.title);
+        std::size_t ri = roots.push(h.allocateInstance(s.image));
+        Address a = roots.get(ri);
+        field::setRef(h, a, *s.iUri, roots.get(riuri));
+        field::setRef(h, a, *s.iTitle, roots.get(rititle));
+        field::set<std::int32_t>(h, a, *s.iWidth, img.width);
+        field::set<std::int32_t>(h, a, *s.iHeight, img.height);
+        field::set<std::int32_t>(h, a, *s.iSize, img.size);
+        rimgs.push_back(ri);
+    }
+    std::size_t riarr =
+        roots.push(h.allocateArray(s.imageArray, v.images.size()));
+    for (std::size_t i = 0; i < rimgs.size(); ++i)
+        array::setRef(h, roots.get(riarr), i, roots.get(rimgs[i]));
+
+    Address content = h.allocateInstance(s.content);
+    field::setRef(h, content, *s.cMedia, roots.get(rmedia));
+    field::setRef(h, content, *s.cImages, roots.get(riarr));
+    return content;
+}
+
+namespace
+{
+
+/// @name colfer: index-byte headers, defaults skipped, varints
+/// @{
+
+void
+colferEncode(const MediaValues &v, ByteSink &out)
+{
+    auto str = [&](std::uint8_t idx, const std::string &s) {
+        if (s.empty())
+            return;
+        out.writeU8(idx);
+        out.writeString(s);
+    };
+    auto i64 = [&](std::uint8_t idx, std::int64_t x) {
+        if (x == 0)
+            return;
+        out.writeU8(idx);
+        out.writeVarI64(x);
+    };
+    str(0, v.uri);
+    str(1, v.title);
+    i64(2, v.width);
+    i64(3, v.height);
+    str(4, v.format);
+    i64(5, v.duration);
+    i64(6, v.size);
+    i64(7, v.bitrate);
+    if (v.hasBitrate)
+        out.writeU8(8);
+    if (!v.persons.empty()) {
+        out.writeU8(9);
+        out.writeVarU64(v.persons.size());
+        for (const auto &p : v.persons)
+            out.writeString(p);
+    }
+    i64(10, v.player);
+    str(11, v.copyright);
+    if (!v.images.empty()) {
+        out.writeU8(12);
+        out.writeVarU64(v.images.size());
+        for (const auto &img : v.images) {
+            out.writeString(img.uri);
+            out.writeString(img.title);
+            out.writeVarI64(img.width);
+            out.writeVarI64(img.height);
+            out.writeVarI64(img.size);
+        }
+    }
+    out.writeU8(0x7f); // terminator
+}
+
+MediaValues
+colferDecode(ByteSource &in)
+{
+    MediaValues v;
+    while (true) {
+        std::uint8_t idx = in.readU8();
+        if (idx == 0x7f)
+            break;
+        switch (idx) {
+          case 0: v.uri = in.readString(); break;
+          case 1: v.title = in.readString(); break;
+          case 2: v.width = in.readVarI64(); break;
+          case 3: v.height = in.readVarI64(); break;
+          case 4: v.format = in.readString(); break;
+          case 5: v.duration = in.readVarI64(); break;
+          case 6: v.size = in.readVarI64(); break;
+          case 7: v.bitrate = in.readVarI64(); break;
+          case 8: v.hasBitrate = true; break;
+          case 9: {
+            std::size_t n = in.readVarU64();
+            for (std::size_t i = 0; i < n; ++i)
+                v.persons.push_back(in.readString());
+            break;
+          }
+          case 10: v.player = in.readVarI64(); break;
+          case 11: v.copyright = in.readString(); break;
+          case 12: {
+            std::size_t n = in.readVarU64();
+            for (std::size_t i = 0; i < n; ++i) {
+                MediaValues::Img img;
+                img.uri = in.readString();
+                img.title = in.readString();
+                img.width = in.readVarI64();
+                img.height = in.readVarI64();
+                img.size = in.readVarI64();
+                v.images.push_back(std::move(img));
+            }
+            break;
+          }
+          default: panic("colfer: bad field index");
+        }
+    }
+    return v;
+}
+
+/// @}
+/// @name protobuf wire helpers
+/// @{
+
+constexpr std::uint32_t wtVarint = 0;
+constexpr std::uint32_t wtLen = 2;
+constexpr std::uint32_t wtGroupStart = 3;
+constexpr std::uint32_t wtGroupEnd = 4;
+
+void
+pbTag(ByteSink &out, std::uint32_t field, std::uint32_t wt)
+{
+    out.writeVarU32((field << 3) | wt);
+}
+
+void
+pbString(ByteSink &out, std::uint32_t field, const std::string &s)
+{
+    pbTag(out, field, wtLen);
+    out.writeString(s);
+}
+
+void
+pbVarint(ByteSink &out, std::uint32_t field, std::int64_t x)
+{
+    pbTag(out, field, wtVarint);
+    out.writeVarI64(x);
+}
+
+/** protostuff: single pass, nested messages as groups. */
+void
+protostuffEncodeImage(const MediaValues::Img &img, ByteSink &out)
+{
+    pbString(out, 1, img.uri);
+    pbString(out, 2, img.title);
+    pbVarint(out, 3, img.width);
+    pbVarint(out, 4, img.height);
+    pbVarint(out, 5, img.size);
+}
+
+void
+protostuffEncode(const MediaValues &v, ByteSink &out)
+{
+    pbTag(out, 1, wtGroupStart); // media
+    pbString(out, 1, v.uri);
+    pbString(out, 2, v.title);
+    pbVarint(out, 3, v.width);
+    pbVarint(out, 4, v.height);
+    pbString(out, 5, v.format);
+    pbVarint(out, 6, v.duration);
+    pbVarint(out, 7, v.size);
+    pbVarint(out, 8, v.bitrate);
+    pbVarint(out, 9, v.hasBitrate ? 1 : 0);
+    for (const auto &p : v.persons)
+        pbString(out, 10, p);
+    pbVarint(out, 11, v.player);
+    pbString(out, 12, v.copyright);
+    pbTag(out, 1, wtGroupEnd);
+
+    for (const auto &img : v.images) {
+        pbTag(out, 2, wtGroupStart);
+        protostuffEncodeImage(img, out);
+        pbTag(out, 2, wtGroupEnd);
+    }
+}
+
+MediaValues
+protostuffDecode(ByteSource &in)
+{
+    MediaValues v;
+    // media group
+    std::uint32_t tag = in.readVarU32();
+    panicIf(tag != ((1u << 3) | wtGroupStart), "protostuff: bad start");
+    while (true) {
+        tag = in.readVarU32();
+        if (tag == ((1u << 3) | wtGroupEnd))
+            break;
+        std::uint32_t field = tag >> 3;
+        switch (field) {
+          case 1: v.uri = in.readString(); break;
+          case 2: v.title = in.readString(); break;
+          case 3: v.width = in.readVarI64(); break;
+          case 4: v.height = in.readVarI64(); break;
+          case 5: v.format = in.readString(); break;
+          case 6: v.duration = in.readVarI64(); break;
+          case 7: v.size = in.readVarI64(); break;
+          case 8: v.bitrate = in.readVarI64(); break;
+          case 9: v.hasBitrate = in.readVarI64() != 0; break;
+          case 10: v.persons.push_back(in.readString()); break;
+          case 11: v.player = in.readVarI64(); break;
+          case 12: v.copyright = in.readString(); break;
+          default: panic("protostuff: bad media field");
+        }
+    }
+    // image groups until source end or foreign tag — the caller knows
+    // one record per stream chunk; we stop at stream end or a tag
+    // that is not an image group start.
+    while (!in.atEnd()) {
+        std::size_t pos = in.position();
+        std::uint32_t t = in.readVarU32();
+        if (t != ((2u << 3) | wtGroupStart)) {
+            // Not ours: cannot rewind ByteSource — treat as error.
+            (void)pos;
+            panic("protostuff: unexpected trailing tag");
+        }
+        MediaValues::Img img;
+        while (true) {
+            std::uint32_t it = in.readVarU32();
+            if (it == ((2u << 3) | wtGroupEnd))
+                break;
+            switch (it >> 3) {
+              case 1: img.uri = in.readString(); break;
+              case 2: img.title = in.readString(); break;
+              case 3: img.width = in.readVarI64(); break;
+              case 4: img.height = in.readVarI64(); break;
+              case 5: img.size = in.readVarI64(); break;
+              default: panic("protostuff: bad image field");
+            }
+        }
+        v.images.push_back(std::move(img));
+    }
+    return v;
+}
+
+/** protobuf: nested messages length-prefixed (needs a temp buffer). */
+void
+protobufEncode(const MediaValues &v, ByteSink &out)
+{
+    VectorSink media;
+    pbString(media, 1, v.uri);
+    pbString(media, 2, v.title);
+    pbVarint(media, 3, v.width);
+    pbVarint(media, 4, v.height);
+    pbString(media, 5, v.format);
+    pbVarint(media, 6, v.duration);
+    pbVarint(media, 7, v.size);
+    pbVarint(media, 8, v.bitrate);
+    pbVarint(media, 9, v.hasBitrate ? 1 : 0);
+    for (const auto &p : v.persons)
+        pbString(media, 10, p);
+    pbVarint(media, 11, v.player);
+    pbString(media, 12, v.copyright);
+
+    pbTag(out, 1, wtLen);
+    out.writeVarU64(media.bytes().size());
+    out.write(media.bytes().data(), media.bytes().size());
+
+    for (const auto &img : v.images) {
+        VectorSink sub;
+        protostuffEncodeImage(img, sub);
+        pbTag(out, 2, wtLen);
+        out.writeVarU64(sub.bytes().size());
+        out.write(sub.bytes().data(), sub.bytes().size());
+    }
+    pbTag(out, 3, wtVarint); // explicit end marker field
+    out.writeVarI64(0);
+}
+
+MediaValues
+protobufDecode(ByteSource &in)
+{
+    MediaValues v;
+    while (true) {
+        std::uint32_t tag = in.readVarU32();
+        std::uint32_t field = tag >> 3;
+        if (field == 3) {
+            in.readVarI64();
+            break;
+        }
+        std::size_t len = in.readVarU64();
+        ByteSource sub(in.view(len), len);
+        if (field == 1) {
+            while (!sub.atEnd()) {
+                std::uint32_t t = sub.readVarU32();
+                switch (t >> 3) {
+                  case 1: v.uri = sub.readString(); break;
+                  case 2: v.title = sub.readString(); break;
+                  case 3: v.width = sub.readVarI64(); break;
+                  case 4: v.height = sub.readVarI64(); break;
+                  case 5: v.format = sub.readString(); break;
+                  case 6: v.duration = sub.readVarI64(); break;
+                  case 7: v.size = sub.readVarI64(); break;
+                  case 8: v.bitrate = sub.readVarI64(); break;
+                  case 9: v.hasBitrate = sub.readVarI64() != 0; break;
+                  case 10: v.persons.push_back(sub.readString()); break;
+                  case 11: v.player = sub.readVarI64(); break;
+                  case 12: v.copyright = sub.readString(); break;
+                  default: panic("protobuf: bad media field");
+                }
+            }
+        } else if (field == 2) {
+            MediaValues::Img img;
+            while (!sub.atEnd()) {
+                std::uint32_t t = sub.readVarU32();
+                switch (t >> 3) {
+                  case 1: img.uri = sub.readString(); break;
+                  case 2: img.title = sub.readString(); break;
+                  case 3: img.width = sub.readVarI64(); break;
+                  case 4: img.height = sub.readVarI64(); break;
+                  case 5: img.size = sub.readVarI64(); break;
+                  default: panic("protobuf: bad image field");
+                }
+            }
+            v.images.push_back(std::move(img));
+        } else {
+            panic("protobuf: bad top field");
+        }
+    }
+    return v;
+}
+
+/// @}
+/// @name datakernel / avro: positional, no tags
+/// @{
+
+void
+positionalEncode(const MediaValues &v, ByteSink &out)
+{
+    out.writeString(v.uri);
+    out.writeString(v.title);
+    out.writeVarI32(v.width);
+    out.writeVarI32(v.height);
+    out.writeString(v.format);
+    out.writeVarI64(v.duration);
+    out.writeVarI64(v.size);
+    out.writeVarI32(v.bitrate);
+    out.writeU8(v.hasBitrate ? 1 : 0);
+    out.writeVarU64(v.persons.size());
+    for (const auto &p : v.persons)
+        out.writeString(p);
+    out.writeVarI32(v.player);
+    out.writeString(v.copyright);
+    out.writeVarU64(v.images.size());
+    for (const auto &img : v.images) {
+        out.writeString(img.uri);
+        out.writeString(img.title);
+        out.writeVarI32(img.width);
+        out.writeVarI32(img.height);
+        out.writeVarI32(img.size);
+    }
+}
+
+MediaValues
+positionalDecode(ByteSource &in)
+{
+    MediaValues v;
+    v.uri = in.readString();
+    v.title = in.readString();
+    v.width = in.readVarI32();
+    v.height = in.readVarI32();
+    v.format = in.readString();
+    v.duration = in.readVarI64();
+    v.size = in.readVarI64();
+    v.bitrate = in.readVarI32();
+    v.hasBitrate = in.readU8() != 0;
+    std::size_t np = in.readVarU64();
+    for (std::size_t i = 0; i < np; ++i)
+        v.persons.push_back(in.readString());
+    v.player = in.readVarI32();
+    v.copyright = in.readString();
+    std::size_t ni = in.readVarU64();
+    for (std::size_t i = 0; i < ni; ++i) {
+        MediaValues::Img img;
+        img.uri = in.readString();
+        img.title = in.readString();
+        img.width = in.readVarI32();
+        img.height = in.readVarI32();
+        img.size = in.readVarI32();
+        v.images.push_back(std::move(img));
+    }
+    return v;
+}
+
+/** avro: block-encoded arrays (count ... 0), zigzag everywhere. */
+void
+avroEncode(const MediaValues &v, ByteSink &out)
+{
+    out.writeString(v.uri);
+    out.writeString(v.title);
+    out.writeVarI64(v.width);
+    out.writeVarI64(v.height);
+    out.writeString(v.format);
+    out.writeVarI64(v.duration);
+    out.writeVarI64(v.size);
+    out.writeVarI64(v.bitrate);
+    out.writeU8(v.hasBitrate ? 1 : 0);
+    if (!v.persons.empty()) {
+        out.writeVarI64(static_cast<std::int64_t>(v.persons.size()));
+        for (const auto &p : v.persons)
+            out.writeString(p);
+    }
+    out.writeVarI64(0); // array terminator block
+    out.writeVarI64(v.player);
+    out.writeString(v.copyright);
+    if (!v.images.empty()) {
+        out.writeVarI64(static_cast<std::int64_t>(v.images.size()));
+        for (const auto &img : v.images) {
+            out.writeString(img.uri);
+            out.writeString(img.title);
+            out.writeVarI64(img.width);
+            out.writeVarI64(img.height);
+            out.writeVarI64(img.size);
+        }
+    }
+    out.writeVarI64(0);
+}
+
+MediaValues
+avroDecode(ByteSource &in)
+{
+    MediaValues v;
+    v.uri = in.readString();
+    v.title = in.readString();
+    v.width = in.readVarI64();
+    v.height = in.readVarI64();
+    v.format = in.readString();
+    v.duration = in.readVarI64();
+    v.size = in.readVarI64();
+    v.bitrate = in.readVarI64();
+    v.hasBitrate = in.readU8() != 0;
+    while (true) {
+        std::int64_t n = in.readVarI64();
+        if (n == 0)
+            break;
+        for (std::int64_t i = 0; i < n; ++i)
+            v.persons.push_back(in.readString());
+    }
+    v.player = in.readVarI64();
+    v.copyright = in.readString();
+    while (true) {
+        std::int64_t n = in.readVarI64();
+        if (n == 0)
+            break;
+        for (std::int64_t i = 0; i < n; ++i) {
+            MediaValues::Img img;
+            img.uri = in.readString();
+            img.title = in.readString();
+            img.width = in.readVarI64();
+            img.height = in.readVarI64();
+            img.size = in.readVarI64();
+            v.images.push_back(std::move(img));
+        }
+    }
+    return v;
+}
+
+/// @}
+/// @name thrift binary / compact
+/// @{
+
+constexpr std::uint8_t ttStop = 0;
+constexpr std::uint8_t ttBool = 2;
+constexpr std::uint8_t ttI32 = 8;
+constexpr std::uint8_t ttI64 = 10;
+constexpr std::uint8_t ttString = 11;
+constexpr std::uint8_t ttList = 15;
+constexpr std::uint8_t ttStruct = 12;
+
+void
+thriftField(ByteSink &out, std::uint8_t type, std::int16_t id)
+{
+    out.writeU8(type);
+    out.writeU16(static_cast<std::uint16_t>(id));
+}
+
+void
+thriftString(ByteSink &out, std::int16_t id, const std::string &s)
+{
+    thriftField(out, ttString, id);
+    out.writeU32(static_cast<std::uint32_t>(s.size()));
+    out.write(s.data(), s.size());
+}
+
+std::string
+thriftReadString(ByteSource &in)
+{
+    std::uint32_t n = in.readU32();
+    const std::uint8_t *p = in.view(n);
+    return std::string(reinterpret_cast<const char *>(p), n);
+}
+
+void
+thriftEncode(const MediaValues &v, ByteSink &out)
+{
+    // struct MediaContent { 1: Media media; 2: list<Image> images }
+    thriftField(out, ttStruct, 1);
+    thriftString(out, 1, v.uri);
+    thriftString(out, 2, v.title);
+    thriftField(out, ttI32, 3);
+    out.writeU32(v.width);
+    thriftField(out, ttI32, 4);
+    out.writeU32(v.height);
+    thriftString(out, 5, v.format);
+    thriftField(out, ttI64, 6);
+    out.writeU64(v.duration);
+    thriftField(out, ttI64, 7);
+    out.writeU64(v.size);
+    thriftField(out, ttI32, 8);
+    out.writeU32(v.bitrate);
+    thriftField(out, ttBool, 9);
+    out.writeU8(v.hasBitrate ? 1 : 0);
+    thriftField(out, ttList, 10);
+    out.writeU8(ttString);
+    out.writeU32(static_cast<std::uint32_t>(v.persons.size()));
+    for (const auto &p : v.persons) {
+        out.writeU32(static_cast<std::uint32_t>(p.size()));
+        out.write(p.data(), p.size());
+    }
+    thriftField(out, ttI32, 11);
+    out.writeU32(v.player);
+    thriftString(out, 12, v.copyright);
+    out.writeU8(ttStop);
+
+    thriftField(out, ttList, 2);
+    out.writeU8(ttStruct);
+    out.writeU32(static_cast<std::uint32_t>(v.images.size()));
+    for (const auto &img : v.images) {
+        thriftString(out, 1, img.uri);
+        thriftString(out, 2, img.title);
+        thriftField(out, ttI32, 3);
+        out.writeU32(img.width);
+        thriftField(out, ttI32, 4);
+        out.writeU32(img.height);
+        thriftField(out, ttI32, 5);
+        out.writeU32(img.size);
+        out.writeU8(ttStop);
+    }
+    out.writeU8(ttStop);
+}
+
+MediaValues
+thriftDecode(ByteSource &in)
+{
+    MediaValues v;
+    while (true) {
+        std::uint8_t type = in.readU8();
+        if (type == ttStop)
+            break;
+        std::int16_t id = static_cast<std::int16_t>(in.readU16());
+        if (type == ttStruct && id == 1) {
+            while (true) {
+                std::uint8_t ft = in.readU8();
+                if (ft == ttStop)
+                    break;
+                std::int16_t fid =
+                    static_cast<std::int16_t>(in.readU16());
+                switch (fid) {
+                  case 1: v.uri = thriftReadString(in); break;
+                  case 2: v.title = thriftReadString(in); break;
+                  case 3: v.width = in.readU32(); break;
+                  case 4: v.height = in.readU32(); break;
+                  case 5: v.format = thriftReadString(in); break;
+                  case 6: v.duration = in.readU64(); break;
+                  case 7: v.size = in.readU64(); break;
+                  case 8: v.bitrate = in.readU32(); break;
+                  case 9: v.hasBitrate = in.readU8() != 0; break;
+                  case 10: {
+                    in.readU8(); // element type
+                    std::uint32_t n = in.readU32();
+                    for (std::uint32_t i = 0; i < n; ++i)
+                        v.persons.push_back(thriftReadString(in));
+                    break;
+                  }
+                  case 11: v.player = in.readU32(); break;
+                  case 12: v.copyright = thriftReadString(in); break;
+                  default: panic("thrift: bad media field");
+                }
+            }
+        } else if (type == ttList && id == 2) {
+            in.readU8();
+            std::uint32_t n = in.readU32();
+            for (std::uint32_t i = 0; i < n; ++i) {
+                MediaValues::Img img;
+                while (true) {
+                    std::uint8_t ft = in.readU8();
+                    if (ft == ttStop)
+                        break;
+                    std::int16_t fid =
+                        static_cast<std::int16_t>(in.readU16());
+                    switch (fid) {
+                      case 1: img.uri = thriftReadString(in); break;
+                      case 2: img.title = thriftReadString(in); break;
+                      case 3: img.width = in.readU32(); break;
+                      case 4: img.height = in.readU32(); break;
+                      case 5: img.size = in.readU32(); break;
+                      default: panic("thrift: bad image field");
+                    }
+                }
+                v.images.push_back(std::move(img));
+            }
+        } else {
+            panic("thrift: bad top field");
+        }
+    }
+    return v;
+}
+
+/** thrift-compact: nibble headers + zigzag varints. */
+void
+tcField(ByteSink &out, std::uint8_t type, std::uint8_t id)
+{
+    out.writeU8(static_cast<std::uint8_t>((id << 4) | type));
+}
+
+void
+thriftCompactEncode(const MediaValues &v, ByteSink &out)
+{
+    tcField(out, 1, 1); // media struct
+    tcField(out, 2, 1);
+    out.writeString(v.uri);
+    tcField(out, 2, 2);
+    out.writeString(v.title);
+    tcField(out, 3, 3);
+    out.writeVarI32(v.width);
+    tcField(out, 3, 4);
+    out.writeVarI32(v.height);
+    tcField(out, 2, 5);
+    out.writeString(v.format);
+    tcField(out, 4, 6);
+    out.writeVarI64(v.duration);
+    tcField(out, 4, 7);
+    out.writeVarI64(v.size);
+    tcField(out, 3, 8);
+    out.writeVarI32(v.bitrate);
+    tcField(out, 5, 9);
+    out.writeU8(v.hasBitrate ? 1 : 0);
+    tcField(out, 6, 10);
+    out.writeVarU64(v.persons.size());
+    for (const auto &p : v.persons)
+        out.writeString(p);
+    tcField(out, 3, 11);
+    out.writeVarI32(v.player);
+    tcField(out, 2, 12);
+    out.writeString(v.copyright);
+    out.writeU8(0);
+
+    tcField(out, 6, 2); // images list
+    out.writeVarU64(v.images.size());
+    for (const auto &img : v.images) {
+        out.writeString(img.uri);
+        out.writeString(img.title);
+        out.writeVarI32(img.width);
+        out.writeVarI32(img.height);
+        out.writeVarI32(img.size);
+    }
+    out.writeU8(0);
+}
+
+MediaValues
+thriftCompactDecode(ByteSource &in)
+{
+    MediaValues v;
+    while (true) {
+        std::uint8_t hdr = in.readU8();
+        if (hdr == 0)
+            break;
+        std::uint8_t id = hdr >> 4;
+        if (id == 1) {
+            while (true) {
+                std::uint8_t fh = in.readU8();
+                if (fh == 0)
+                    break;
+                switch (fh >> 4) {
+                  case 1: v.uri = in.readString(); break;
+                  case 2: v.title = in.readString(); break;
+                  case 3: v.width = in.readVarI32(); break;
+                  case 4: v.height = in.readVarI32(); break;
+                  case 5: v.format = in.readString(); break;
+                  case 6: v.duration = in.readVarI64(); break;
+                  case 7: v.size = in.readVarI64(); break;
+                  case 8: v.bitrate = in.readVarI32(); break;
+                  case 9: v.hasBitrate = in.readU8() != 0; break;
+                  case 10: {
+                    std::size_t n = in.readVarU64();
+                    for (std::size_t i = 0; i < n; ++i)
+                        v.persons.push_back(in.readString());
+                    break;
+                  }
+                  case 11: v.player = in.readVarI32(); break;
+                  case 12: v.copyright = in.readString(); break;
+                  default: panic("thrift-compact: bad media field");
+                }
+            }
+        } else if (id == 2) {
+            std::size_t n = in.readVarU64();
+            for (std::size_t i = 0; i < n; ++i) {
+                MediaValues::Img img;
+                img.uri = in.readString();
+                img.title = in.readString();
+                img.width = in.readVarI32();
+                img.height = in.readVarI32();
+                img.size = in.readVarI32();
+                v.images.push_back(std::move(img));
+            }
+        } else {
+            panic("thrift-compact: bad top field");
+        }
+    }
+    return v;
+}
+
+/// @}
+/// @name cbor / smile: self-describing maps with string keys
+/// @{
+
+void
+cborKey(ByteSink &out, const char *key)
+{
+    std::string_view k(key);
+    out.writeU8(static_cast<std::uint8_t>(0x60 | k.size()));
+    out.write(k.data(), k.size());
+}
+
+void
+cborStr(ByteSink &out, const std::string &s)
+{
+    out.writeU8(0x78);
+    out.writeVarU64(s.size());
+    out.write(s.data(), s.size());
+}
+
+void
+cborInt(ByteSink &out, std::int64_t x)
+{
+    out.writeU8(0x3b);
+    out.writeVarI64(x);
+}
+
+void
+cborEncode(const MediaValues &v, ByteSink &out)
+{
+    auto kv_str = [&](const char *k, const std::string &s) {
+        cborKey(out, k);
+        cborStr(out, s);
+    };
+    auto kv_int = [&](const char *k, std::int64_t x) {
+        cborKey(out, k);
+        cborInt(out, x);
+    };
+    out.writeU8(0xbf); // map
+    kv_str("uri", v.uri);
+    kv_str("title", v.title);
+    kv_int("width", v.width);
+    kv_int("height", v.height);
+    kv_str("format", v.format);
+    kv_int("duration", v.duration);
+    kv_int("size", v.size);
+    kv_int("bitrate", v.bitrate);
+    cborKey(out, "hasBitrate");
+    out.writeU8(v.hasBitrate ? 0xf5 : 0xf4);
+    cborKey(out, "persons");
+    out.writeU8(0x9f); // array
+    out.writeVarU64(v.persons.size());
+    for (const auto &p : v.persons)
+        cborStr(out, p);
+    kv_int("player", v.player);
+    kv_str("copyright", v.copyright);
+    cborKey(out, "images");
+    out.writeU8(0x9f);
+    out.writeVarU64(v.images.size());
+    for (const auto &img : v.images) {
+        out.writeU8(0xbf);
+        kv_str("uri", img.uri);
+        kv_str("title", img.title);
+        kv_int("width", img.width);
+        kv_int("height", img.height);
+        kv_int("size", img.size);
+        out.writeU8(0xff); // end map
+    }
+    out.writeU8(0xff);
+}
+
+std::string
+cborReadStr(ByteSource &in)
+{
+    std::uint8_t h = in.readU8();
+    panicIf(h != 0x78, "cbor: expected string");
+    std::size_t n = in.readVarU64();
+    const std::uint8_t *p = in.view(n);
+    return std::string(reinterpret_cast<const char *>(p), n);
+}
+
+std::int64_t
+cborReadInt(ByteSource &in)
+{
+    std::uint8_t h = in.readU8();
+    panicIf(h != 0x3b, "cbor: expected int");
+    return in.readVarI64();
+}
+
+MediaValues
+cborDecode(ByteSource &in)
+{
+    MediaValues v;
+    panicIf(in.readU8() != 0xbf, "cbor: expected map");
+    while (true) {
+        // Peek: end?
+        std::uint8_t h = in.readU8();
+        if (h == 0xff)
+            break;
+        panicIf((h & 0xe0) != 0x60, "cbor: expected key");
+        std::size_t n = h & 0x1f;
+        const std::uint8_t *p = in.view(n);
+        std::string key(reinterpret_cast<const char *>(p), n);
+        if (key == "uri") v.uri = cborReadStr(in);
+        else if (key == "title") v.title = cborReadStr(in);
+        else if (key == "width") v.width = cborReadInt(in);
+        else if (key == "height") v.height = cborReadInt(in);
+        else if (key == "format") v.format = cborReadStr(in);
+        else if (key == "duration") v.duration = cborReadInt(in);
+        else if (key == "size") v.size = cborReadInt(in);
+        else if (key == "bitrate") v.bitrate = cborReadInt(in);
+        else if (key == "hasBitrate")
+            v.hasBitrate = in.readU8() == 0xf5;
+        else if (key == "persons") {
+            panicIf(in.readU8() != 0x9f, "cbor: expected array");
+            std::size_t cnt = in.readVarU64();
+            for (std::size_t i = 0; i < cnt; ++i)
+                v.persons.push_back(cborReadStr(in));
+        } else if (key == "player") v.player = cborReadInt(in);
+        else if (key == "copyright") v.copyright = cborReadStr(in);
+        else if (key == "images") {
+            panicIf(in.readU8() != 0x9f, "cbor: expected array");
+            std::size_t cnt = in.readVarU64();
+            for (std::size_t i = 0; i < cnt; ++i) {
+                panicIf(in.readU8() != 0xbf, "cbor: expected map");
+                MediaValues::Img img;
+                while (true) {
+                    std::uint8_t ih = in.readU8();
+                    if (ih == 0xff)
+                        break;
+                    panicIf((ih & 0xe0) != 0x60, "cbor: img key");
+                    std::size_t kn = ih & 0x1f;
+                    const std::uint8_t *kp = in.view(kn);
+                    std::string ikey(
+                        reinterpret_cast<const char *>(kp), kn);
+                    if (ikey == "uri") img.uri = cborReadStr(in);
+                    else if (ikey == "title")
+                        img.title = cborReadStr(in);
+                    else if (ikey == "width")
+                        img.width = cborReadInt(in);
+                    else if (ikey == "height")
+                        img.height = cborReadInt(in);
+                    else if (ikey == "size")
+                        img.size = cborReadInt(in);
+                    else
+                        panic("cbor: bad image key");
+                }
+                v.images.push_back(std::move(img));
+            }
+        } else {
+            panic("cbor: bad key " + key);
+        }
+    }
+    return v;
+}
+
+/** smile: cbor-like but keys become 1-byte back-references after
+ *  their first occurrence in the record. */
+class SmileKeyTable
+{
+  public:
+    void
+    writeKey(ByteSink &out, const char *key)
+    {
+        std::string k(key);
+        auto it = index_.find(k);
+        if (it != index_.end()) {
+            out.writeU8(static_cast<std::uint8_t>(0xc0 | it->second));
+            return;
+        }
+        std::uint8_t id = static_cast<std::uint8_t>(index_.size());
+        index_.emplace(k, id);
+        out.writeU8(static_cast<std::uint8_t>(k.size()));
+        out.write(k.data(), k.size());
+    }
+
+  private:
+    std::unordered_map<std::string, std::uint8_t> index_;
+};
+
+class SmileKeyReader
+{
+  public:
+    std::string
+    readKey(ByteSource &in)
+    {
+        std::uint8_t h = in.readU8();
+        if (h == 0xff)
+            return ""; // end marker
+        if (h & 0xc0)
+            return names_[h & 0x3f];
+        std::size_t n = h;
+        const std::uint8_t *p = in.view(n);
+        std::string k(reinterpret_cast<const char *>(p), n);
+        names_.push_back(k);
+        return k;
+    }
+
+  private:
+    std::vector<std::string> names_;
+};
+
+void
+smileEncode(const MediaValues &v, ByteSink &out)
+{
+    SmileKeyTable keys;
+    auto kv_str = [&](const char *k, const std::string &s) {
+        keys.writeKey(out, k);
+        out.writeString(s);
+    };
+    auto kv_int = [&](const char *k, std::int64_t x) {
+        keys.writeKey(out, k);
+        out.writeVarI64(x);
+    };
+    // Top-level: strings have a leading type via position — smile is
+    // positional-typed per key here (the schema is fixed).
+    kv_str("uri", v.uri);
+    kv_str("title", v.title);
+    kv_int("width", v.width);
+    kv_int("height", v.height);
+    kv_str("format", v.format);
+    kv_int("duration", v.duration);
+    kv_int("size", v.size);
+    kv_int("bitrate", v.bitrate);
+    kv_int("hasBitrate", v.hasBitrate ? 1 : 0);
+    keys.writeKey(out, "persons");
+    out.writeVarU64(v.persons.size());
+    for (const auto &p : v.persons)
+        out.writeString(p);
+    kv_int("player", v.player);
+    kv_str("copyright", v.copyright);
+    keys.writeKey(out, "images");
+    out.writeVarU64(v.images.size());
+    for (const auto &img : v.images) {
+        kv_str("uri", img.uri);
+        kv_str("title", img.title);
+        kv_int("width", img.width);
+        kv_int("height", img.height);
+        kv_int("size", img.size);
+    }
+    out.writeU8(0xff);
+}
+
+MediaValues
+smileDecode(ByteSource &in)
+{
+    MediaValues v;
+    SmileKeyReader keys;
+    int images_seen = -1;
+    while (true) {
+        std::string key = keys.readKey(in);
+        if (key.empty())
+            break;
+        if (key == "uri") {
+            if (images_seen < 0)
+                v.uri = in.readString();
+            else
+                v.images[images_seen].uri = in.readString();
+        } else if (key == "title") {
+            if (images_seen < 0)
+                v.title = in.readString();
+            else
+                v.images[images_seen].title = in.readString();
+        } else if (key == "width") {
+            if (images_seen < 0)
+                v.width = in.readVarI64();
+            else
+                v.images[images_seen].width = in.readVarI64();
+        } else if (key == "height") {
+            if (images_seen < 0)
+                v.height = in.readVarI64();
+            else
+                v.images[images_seen].height = in.readVarI64();
+        } else if (key == "format") {
+            v.format = in.readString();
+        } else if (key == "duration") {
+            v.duration = in.readVarI64();
+        } else if (key == "size") {
+            if (images_seen < 0)
+                v.size = in.readVarI64();
+            else {
+                v.images[images_seen].size = in.readVarI64();
+                // size is the last image field: advance.
+                if (images_seen + 1 <
+                    static_cast<int>(v.images.size()))
+                    ++images_seen;
+            }
+        } else if (key == "bitrate") {
+            v.bitrate = in.readVarI64();
+        } else if (key == "hasBitrate") {
+            v.hasBitrate = in.readVarI64() != 0;
+        } else if (key == "persons") {
+            std::size_t n = in.readVarU64();
+            for (std::size_t i = 0; i < n; ++i)
+                v.persons.push_back(in.readString());
+        } else if (key == "player") {
+            v.player = in.readVarI64();
+        } else if (key == "copyright") {
+            v.copyright = in.readString();
+        } else if (key == "images") {
+            std::size_t n = in.readVarU64();
+            v.images.resize(n);
+            images_seen = n ? 0 : -1;
+        } else {
+            panic("smile: bad key " + key);
+        }
+    }
+    return v;
+}
+
+/// @}
+/// @name capnproto / fst / wobly / msgpack
+/// @{
+
+/** capnproto-style: fixed-width struct section, strings in a tail. */
+void
+capnpEncode(const MediaValues &v, ByteSink &out)
+{
+    out.writeU32(static_cast<std::uint32_t>(v.width));
+    out.writeU32(static_cast<std::uint32_t>(v.height));
+    out.writeU64(static_cast<std::uint64_t>(v.duration));
+    out.writeU64(static_cast<std::uint64_t>(v.size));
+    out.writeU32(static_cast<std::uint32_t>(v.bitrate));
+    out.writeU8(v.hasBitrate ? 1 : 0);
+    out.writeU32(static_cast<std::uint32_t>(v.player));
+    out.writeU32(static_cast<std::uint32_t>(v.persons.size()));
+    out.writeU32(static_cast<std::uint32_t>(v.images.size()));
+    // Tail: strings with u32 lengths (word padding as capnp does).
+    auto tail = [&](const std::string &s) {
+        out.writeU32(static_cast<std::uint32_t>(s.size()));
+        out.write(s.data(), s.size());
+        static const char pad[8] = {0};
+        std::size_t rem = s.size() % 8;
+        if (rem)
+            out.write(pad, 8 - rem);
+    };
+    tail(v.uri);
+    tail(v.title);
+    tail(v.format);
+    tail(v.copyright);
+    for (const auto &p : v.persons)
+        tail(p);
+    for (const auto &img : v.images) {
+        out.writeU32(static_cast<std::uint32_t>(img.width));
+        out.writeU32(static_cast<std::uint32_t>(img.height));
+        out.writeU32(static_cast<std::uint32_t>(img.size));
+        out.writeU32(0); // struct padding
+        tail(img.uri);
+        tail(img.title);
+    }
+}
+
+MediaValues
+capnpDecode(ByteSource &in)
+{
+    MediaValues v;
+    v.width = static_cast<std::int32_t>(in.readU32());
+    v.height = static_cast<std::int32_t>(in.readU32());
+    v.duration = static_cast<std::int64_t>(in.readU64());
+    v.size = static_cast<std::int64_t>(in.readU64());
+    v.bitrate = static_cast<std::int32_t>(in.readU32());
+    v.hasBitrate = in.readU8() != 0;
+    v.player = static_cast<std::int32_t>(in.readU32());
+    std::uint32_t np = in.readU32();
+    std::uint32_t ni = in.readU32();
+    auto tail = [&]() {
+        std::uint32_t n = in.readU32();
+        const std::uint8_t *p = in.view(n);
+        std::string s(reinterpret_cast<const char *>(p), n);
+        std::size_t rem = n % 8;
+        if (rem)
+            in.view(8 - rem);
+        return s;
+    };
+    v.uri = tail();
+    v.title = tail();
+    v.format = tail();
+    v.copyright = tail();
+    for (std::uint32_t i = 0; i < np; ++i)
+        v.persons.push_back(tail());
+    for (std::uint32_t i = 0; i < ni; ++i) {
+        MediaValues::Img img;
+        img.width = static_cast<std::int32_t>(in.readU32());
+        img.height = static_cast<std::int32_t>(in.readU32());
+        img.size = static_cast<std::int32_t>(in.readU32());
+        in.readU32();
+        img.uri = tail();
+        img.title = tail();
+        v.images.push_back(std::move(img));
+    }
+    return v;
+}
+
+/** fst-flat: fixed-width positional, no padding. */
+void
+fstEncode(const MediaValues &v, ByteSink &out)
+{
+    out.writeString(v.uri);
+    out.writeString(v.title);
+    out.writeU32(static_cast<std::uint32_t>(v.width));
+    out.writeU32(static_cast<std::uint32_t>(v.height));
+    out.writeString(v.format);
+    out.writeU64(static_cast<std::uint64_t>(v.duration));
+    out.writeU64(static_cast<std::uint64_t>(v.size));
+    out.writeU32(static_cast<std::uint32_t>(v.bitrate));
+    out.writeU8(v.hasBitrate ? 1 : 0);
+    out.writeU32(static_cast<std::uint32_t>(v.persons.size()));
+    for (const auto &p : v.persons)
+        out.writeString(p);
+    out.writeU32(static_cast<std::uint32_t>(v.player));
+    out.writeString(v.copyright);
+    out.writeU32(static_cast<std::uint32_t>(v.images.size()));
+    for (const auto &img : v.images) {
+        out.writeString(img.uri);
+        out.writeString(img.title);
+        out.writeU32(static_cast<std::uint32_t>(img.width));
+        out.writeU32(static_cast<std::uint32_t>(img.height));
+        out.writeU32(static_cast<std::uint32_t>(img.size));
+    }
+}
+
+MediaValues
+fstDecode(ByteSource &in)
+{
+    MediaValues v;
+    v.uri = in.readString();
+    v.title = in.readString();
+    v.width = static_cast<std::int32_t>(in.readU32());
+    v.height = static_cast<std::int32_t>(in.readU32());
+    v.format = in.readString();
+    v.duration = static_cast<std::int64_t>(in.readU64());
+    v.size = static_cast<std::int64_t>(in.readU64());
+    v.bitrate = static_cast<std::int32_t>(in.readU32());
+    v.hasBitrate = in.readU8() != 0;
+    std::uint32_t np = in.readU32();
+    for (std::uint32_t i = 0; i < np; ++i)
+        v.persons.push_back(in.readString());
+    v.player = static_cast<std::int32_t>(in.readU32());
+    v.copyright = in.readString();
+    std::uint32_t ni = in.readU32();
+    for (std::uint32_t i = 0; i < ni; ++i) {
+        MediaValues::Img img;
+        img.uri = in.readString();
+        img.title = in.readString();
+        img.width = static_cast<std::int32_t>(in.readU32());
+        img.height = static_cast<std::int32_t>(in.readU32());
+        img.size = static_cast<std::int32_t>(in.readU32());
+        v.images.push_back(std::move(img));
+    }
+    return v;
+}
+
+/** wobly: whole-record length prefix, positional varint body. */
+void
+woblyEncode(const MediaValues &v, ByteSink &out)
+{
+    VectorSink body;
+    positionalEncode(v, body);
+    out.writeU32(static_cast<std::uint32_t>(body.bytes().size()));
+    out.write(body.bytes().data(), body.bytes().size());
+}
+
+MediaValues
+woblyDecode(ByteSource &in)
+{
+    std::uint32_t len = in.readU32();
+    ByteSource body(in.view(len), len);
+    return positionalDecode(body);
+}
+
+/** msgpack: size-adaptive tagged values. */
+void
+mpInt(ByteSink &out, std::int64_t x)
+{
+    if (x >= 0 && x < 128) {
+        out.writeU8(static_cast<std::uint8_t>(x));
+    } else if (x >= 0 && x <= 0xffff) {
+        out.writeU8(0xcd);
+        out.writeU16(static_cast<std::uint16_t>(x));
+    } else if (x >= 0 && x <= 0xffffffffll) {
+        out.writeU8(0xce);
+        out.writeU32(static_cast<std::uint32_t>(x));
+    } else {
+        out.writeU8(0xcf);
+        out.writeU64(static_cast<std::uint64_t>(x));
+    }
+}
+
+std::int64_t
+mpReadInt(ByteSource &in)
+{
+    std::uint8_t h = in.readU8();
+    if (h < 128)
+        return h;
+    switch (h) {
+      case 0xcd: return in.readU16();
+      case 0xce: return in.readU32();
+      case 0xcf: return static_cast<std::int64_t>(in.readU64());
+      default: panic("msgpack: bad int tag");
+    }
+}
+
+void
+mpStr(ByteSink &out, const std::string &s)
+{
+    if (s.size() < 256) {
+        out.writeU8(0xd9);
+        out.writeU8(static_cast<std::uint8_t>(s.size()));
+    } else {
+        out.writeU8(0xda);
+        out.writeU16(static_cast<std::uint16_t>(s.size()));
+    }
+    out.write(s.data(), s.size());
+}
+
+std::string
+mpReadStr(ByteSource &in)
+{
+    std::uint8_t h = in.readU8();
+    std::size_t n;
+    if (h == 0xd9)
+        n = in.readU8();
+    else if (h == 0xda)
+        n = in.readU16();
+    else
+        panic("msgpack: bad str tag");
+    const std::uint8_t *p = in.view(n);
+    return std::string(reinterpret_cast<const char *>(p), n);
+}
+
+void
+msgpackEncode(const MediaValues &v, ByteSink &out)
+{
+    mpStr(out, v.uri);
+    mpStr(out, v.title);
+    mpInt(out, v.width);
+    mpInt(out, v.height);
+    mpStr(out, v.format);
+    mpInt(out, v.duration);
+    mpInt(out, v.size);
+    mpInt(out, v.bitrate);
+    out.writeU8(v.hasBitrate ? 0xc3 : 0xc2);
+    mpInt(out, static_cast<std::int64_t>(v.persons.size()));
+    for (const auto &p : v.persons)
+        mpStr(out, p);
+    mpInt(out, v.player);
+    mpStr(out, v.copyright);
+    mpInt(out, static_cast<std::int64_t>(v.images.size()));
+    for (const auto &img : v.images) {
+        mpStr(out, img.uri);
+        mpStr(out, img.title);
+        mpInt(out, img.width);
+        mpInt(out, img.height);
+        mpInt(out, img.size);
+    }
+}
+
+MediaValues
+msgpackDecode(ByteSource &in)
+{
+    MediaValues v;
+    v.uri = mpReadStr(in);
+    v.title = mpReadStr(in);
+    v.width = mpReadInt(in);
+    v.height = mpReadInt(in);
+    v.format = mpReadStr(in);
+    v.duration = mpReadInt(in);
+    v.size = mpReadInt(in);
+    v.bitrate = mpReadInt(in);
+    v.hasBitrate = in.readU8() == 0xc3;
+    std::int64_t np = mpReadInt(in);
+    for (std::int64_t i = 0; i < np; ++i)
+        v.persons.push_back(mpReadStr(in));
+    v.player = mpReadInt(in);
+    v.copyright = mpReadStr(in);
+    std::int64_t ni = mpReadInt(in);
+    for (std::int64_t i = 0; i < ni; ++i) {
+        MediaValues::Img img;
+        img.uri = mpReadStr(in);
+        img.title = mpReadStr(in);
+        img.width = mpReadInt(in);
+        img.height = mpReadInt(in);
+        img.size = mpReadInt(in);
+        v.images.push_back(std::move(img));
+    }
+    return v;
+}
+
+/// @}
+
+} // namespace
+
+std::vector<JsbsCodec>
+jsbsCodecs()
+{
+    std::vector<JsbsCodec> all;
+    all.push_back({"colfer", colferEncode, colferDecode, false});
+    all.push_back(
+        {"protostuff", protostuffEncode, protostuffDecode, false});
+    all.push_back({"protostuff-manual", protostuffEncode,
+                   protostuffDecode, false});
+    all.push_back({"protobuf", protobufEncode, protobufDecode, false});
+    all.push_back({"protostuff-runtime", protostuffEncode,
+                   protostuffDecode, true});
+    all.push_back(
+        {"datakernel", positionalEncode, positionalDecode, false});
+    all.push_back({"avro-specific", avroEncode, avroDecode, false});
+    all.push_back({"avro-generic", avroEncode, avroDecode, true});
+    all.push_back({"thrift", thriftEncode, thriftDecode, false});
+    all.push_back({"thrift-compact", thriftCompactEncode,
+                   thriftCompactDecode, false});
+    all.push_back({"cbor/jackson/manual", cborEncode, cborDecode,
+                   false});
+    all.push_back({"cbor/jackson/databind", cborEncode, cborDecode,
+                   true});
+    all.push_back({"smile/jackson/manual", smileEncode, smileDecode,
+                   false});
+    all.push_back({"smile/jackson/databind", smileEncode, smileDecode,
+                   true});
+    all.push_back({"capnproto", capnpEncode, capnpDecode, false});
+    all.push_back({"fst-flat", fstEncode, fstDecode, false});
+    all.push_back({"wobly", woblyEncode, woblyDecode, false});
+    all.push_back({"msgpack", msgpackEncode, msgpackDecode, false});
+    return all;
+}
+
+JsbsCodec
+jsbsCodec(const std::string &name)
+{
+    for (auto &c : jsbsCodecs()) {
+        if (c.name == name)
+            return c;
+    }
+    fatal("jsbsCodec: unknown codec " + name);
+}
+
+} // namespace skyway

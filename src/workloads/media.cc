@@ -1,0 +1,195 @@
+#include "workloads/media.hh"
+
+namespace skyway
+{
+
+void
+defineMediaClasses(ClassCatalog &catalog)
+{
+    catalog.define(ClassDef{
+        "jsbs.MediaContent",
+        "",
+        {
+            {"media", FieldType::Ref, "jsbs.Media"},
+            {"images", FieldType::Ref, "[Ljsbs.Image;"},
+        },
+    });
+    catalog.define(ClassDef{
+        "jsbs.Media",
+        "",
+        {
+            {"uri", FieldType::Ref, "java.lang.String"},
+            {"title", FieldType::Ref, "java.lang.String"},
+            {"width", FieldType::Int, ""},
+            {"height", FieldType::Int, ""},
+            {"format", FieldType::Ref, "java.lang.String"},
+            {"duration", FieldType::Long, ""},
+            {"size", FieldType::Long, ""},
+            {"bitrate", FieldType::Int, ""},
+            {"hasBitrate", FieldType::Boolean, ""},
+            {"persons", FieldType::Ref, "[Ljava.lang.String;"},
+            {"player", FieldType::Int, ""},
+            {"copyright", FieldType::Ref, "java.lang.String"},
+        },
+    });
+    catalog.define(ClassDef{
+        "jsbs.Image",
+        "",
+        {
+            {"uri", FieldType::Ref, "java.lang.String"},
+            {"title", FieldType::Ref, "java.lang.String"},
+            {"width", FieldType::Int, ""},
+            {"height", FieldType::Int, ""},
+            {"size", FieldType::Int, ""},
+        },
+    });
+}
+
+MediaSchema::MediaSchema(KlassTable &klasses)
+    : content(klasses.load("jsbs.MediaContent")),
+      media(klasses.load("jsbs.Media")),
+      image(klasses.load("jsbs.Image")),
+      imageArray(klasses.arrayOfRefs("jsbs.Image")),
+      stringArray(klasses.arrayOfRefs("java.lang.String")),
+      cMedia(&content->requireField("media")),
+      cImages(&content->requireField("images")),
+      mUri(&media->requireField("uri")),
+      mTitle(&media->requireField("title")),
+      mWidth(&media->requireField("width")),
+      mHeight(&media->requireField("height")),
+      mFormat(&media->requireField("format")),
+      mDuration(&media->requireField("duration")),
+      mSize(&media->requireField("size")),
+      mBitrate(&media->requireField("bitrate")),
+      mHasBitrate(&media->requireField("hasBitrate")),
+      mPersons(&media->requireField("persons")),
+      mPlayer(&media->requireField("player")),
+      mCopyright(&media->requireField("copyright")),
+      iUri(&image->requireField("uri")),
+      iTitle(&image->requireField("title")),
+      iWidth(&image->requireField("width")),
+      iHeight(&image->requireField("height")),
+      iSize(&image->requireField("size"))
+{
+}
+
+namespace
+{
+
+Address
+makeImage(Jvm &jvm, LocalRoots &roots, const MediaSchema &s, Rng &rng,
+          int which)
+{
+    ManagedHeap &h = jvm.heap();
+    std::size_t ruri = roots.push(jvm.builder().makeString(
+        "http://javaone.com/keynote_" + std::to_string(which) +
+        "_" + std::to_string(rng.nextBounded(100000)) + ".jpg"));
+    std::size_t rtitle = roots.push(
+        jvm.builder().makeString("Javaone Keynote"));
+    Address img = h.allocateInstance(s.image);
+    field::setRef(h, img, *s.iUri, roots.get(ruri));
+    field::setRef(h, img, *s.iTitle, roots.get(rtitle));
+    field::set<std::int32_t>(h, img, *s.iWidth, which ? 1024 : 240);
+    field::set<std::int32_t>(h, img, *s.iHeight, which ? 768 : 180);
+    field::set<std::int32_t>(h, img, *s.iSize,
+                             which ? media_enums::sizeLarge
+                                   : media_enums::sizeSmall);
+    return img;
+}
+
+} // namespace
+
+std::size_t
+makeMediaContent(Jvm &jvm, LocalRoots &roots, Rng &rng)
+{
+    MediaSchema s(jvm.klasses());
+    ManagedHeap &h = jvm.heap();
+
+    // Media.
+    std::size_t ruri = roots.push(jvm.builder().makeString(
+        "http://javaone.com/keynote_" +
+        std::to_string(rng.nextBounded(1000000)) + ".mpg"));
+    std::size_t rtitle = roots.push(
+        jvm.builder().makeString("Javaone Keynote"));
+    std::size_t rformat = roots.push(
+        jvm.builder().makeString("video/mpg4"));
+    std::size_t rcopy = roots.push(jvm.builder().makeString("none"));
+    std::size_t rp1 = roots.push(
+        jvm.builder().makeString("Bill Gates"));
+    std::size_t rp2 = roots.push(
+        jvm.builder().makeString("Steve Jobs"));
+
+    Address persons = h.allocateArray(s.stringArray, 2);
+    std::size_t rpersons = roots.push(persons);
+    array::setRef(h, roots.get(rpersons), 0, roots.get(rp1));
+    array::setRef(h, roots.get(rpersons), 1, roots.get(rp2));
+
+    Address media = h.allocateInstance(s.media);
+    std::size_t rmedia = roots.push(media);
+    {
+        Address m = roots.get(rmedia);
+        field::setRef(h, m, *s.mUri, roots.get(ruri));
+        field::setRef(h, m, *s.mTitle, roots.get(rtitle));
+        field::set<std::int32_t>(h, m, *s.mWidth, 640);
+        field::set<std::int32_t>(h, m, *s.mHeight, 480);
+        field::setRef(h, m, *s.mFormat, roots.get(rformat));
+        field::set<std::int64_t>(h, m, *s.mDuration, 18000000);
+        field::set<std::int64_t>(h, m, *s.mSize, 58982400);
+        field::set<std::int32_t>(h, m, *s.mBitrate, 262144);
+        field::set<std::uint8_t>(h, m, *s.mHasBitrate, 1);
+        field::setRef(h, m, *s.mPersons, roots.get(rpersons));
+        field::set<std::int32_t>(h, m, *s.mPlayer,
+                                 media_enums::playerJava);
+        field::setRef(h, m, *s.mCopyright, roots.get(rcopy));
+    }
+
+    // Images.
+    Address img0 = makeImage(jvm, roots, s, rng, 0);
+    std::size_t ri0 = roots.push(img0);
+    Address img1 = makeImage(jvm, roots, s, rng, 1);
+    std::size_t ri1 = roots.push(img1);
+    Address images = h.allocateArray(s.imageArray, 2);
+    std::size_t rimages = roots.push(images);
+    array::setRef(h, roots.get(rimages), 0, roots.get(ri0));
+    array::setRef(h, roots.get(rimages), 1, roots.get(ri1));
+
+    // Content.
+    Address content = h.allocateInstance(s.content);
+    std::size_t rcontent = roots.push(content);
+    field::setRef(h, roots.get(rcontent), *s.cMedia,
+                  roots.get(rmedia));
+    field::setRef(h, roots.get(rcontent), *s.cImages,
+                  roots.get(rimages));
+    return rcontent;
+}
+
+bool
+mediaContentWellFormed(Jvm &jvm, Address content)
+{
+    if (content == nullAddr)
+        return false;
+    ManagedHeap &h = jvm.heap();
+    MediaSchema s(jvm.klasses());
+    if (h.klassOf(content)->name() != "jsbs.MediaContent")
+        return false;
+    Address media = field::getRef(h, content, *s.cMedia);
+    Address images = field::getRef(h, content, *s.cImages);
+    if (media == nullAddr || images == nullAddr)
+        return false;
+    if (h.arrayLength(images) != 2)
+        return false;
+    for (int i = 0; i < 2; ++i) {
+        Address img = array::getRef(h, images, i);
+        if (img == nullAddr)
+            return false;
+        Address uri = field::getRef(h, img, *s.iUri);
+        if (uri == nullAddr ||
+            jvm.builder().stringValue(uri).empty())
+            return false;
+    }
+    Address title = field::getRef(h, media, *s.mTitle);
+    return title != nullAddr &&
+           jvm.builder().stringValue(title) == "Javaone Keynote";
+}
+
+} // namespace skyway

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The JSBS (jvm-serializers) media-content data model: the benchmark
+ * the paper uses to compare Skyway against 90 S/D libraries (Figure
+ * 7). A MediaContent holds one Media plus an Image array; every
+ * instance is around 1 KB in JSON form and mixes strings, ints,
+ * longs, booleans, enums, and nested objects.
+ */
+
+#ifndef SKYWAY_WORKLOADS_MEDIA_HH
+#define SKYWAY_WORKLOADS_MEDIA_HH
+
+#include "skyway/jvm.hh"
+#include "support/rng.hh"
+
+namespace skyway
+{
+
+/** Media player enum values (stored as int fields, as Java enums'
+ *  ordinals would be encoded by schema serializers). */
+namespace media_enums
+{
+constexpr std::int32_t playerJava = 0;
+constexpr std::int32_t playerFlash = 1;
+constexpr std::int32_t sizeSmall = 0;
+constexpr std::int32_t sizeLarge = 1;
+} // namespace media_enums
+
+/** Register the media classes with an application catalog. */
+void defineMediaClasses(ClassCatalog &catalog);
+
+/**
+ * Cached klass/field handles for the media schema on one node — the
+ * "generated code" a schema compiler would produce.
+ */
+struct MediaSchema
+{
+    explicit MediaSchema(KlassTable &klasses);
+
+    Klass *content;
+    Klass *media;
+    Klass *image;
+    Klass *imageArray;
+    Klass *stringArray;
+
+    const FieldDesc *cMedia, *cImages;
+    const FieldDesc *mUri, *mTitle, *mWidth, *mHeight, *mFormat,
+        *mDuration, *mSize, *mBitrate, *mHasBitrate, *mPersons,
+        *mPlayer, *mCopyright;
+    const FieldDesc *iUri, *iTitle, *iWidth, *iHeight, *iSize;
+};
+
+/**
+ * Deterministically build one MediaContent object graph (1 Media with
+ * 2 persons + 2 Images, the standard JSBS shape). Roots it in
+ * @p roots and returns the slot index.
+ */
+std::size_t makeMediaContent(Jvm &jvm, LocalRoots &roots, Rng &rng);
+
+/**
+ * Structural sanity check used by tests: verifies the standard JSBS
+ * shape (media with non-empty strings, two images).
+ */
+bool mediaContentWellFormed(Jvm &jvm, Address content);
+
+} // namespace skyway
+
+#endif // SKYWAY_WORKLOADS_MEDIA_HH

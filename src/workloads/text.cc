@@ -1,0 +1,55 @@
+#include "workloads/text.hh"
+
+namespace skyway
+{
+
+std::string
+vocabularyWord(std::size_t r)
+{
+    // Base-26 spelling of the rank with a letter prefix: short names
+    // for frequent words, as in natural text.
+    std::string w;
+    std::size_t x = r;
+    do {
+        w.push_back(static_cast<char>('a' + x % 26));
+        x /= 26;
+    } while (x > 0);
+    return w;
+}
+
+std::vector<std::string>
+generateText(const TextSpec &spec)
+{
+    Rng rng(spec.seed);
+    std::vector<std::string> lines;
+    lines.reserve(spec.lines);
+    for (std::size_t i = 0; i < spec.lines; ++i) {
+        std::string line;
+        for (int w = 0; w < spec.wordsPerLine; ++w) {
+            if (w)
+                line.push_back(' ');
+            line += vocabularyWord(
+                rng.nextPowerLaw(spec.vocabulary, spec.alpha));
+        }
+        lines.push_back(std::move(line));
+    }
+    return lines;
+}
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start < line.size()) {
+        std::size_t end = line.find(' ', start);
+        if (end == std::string::npos)
+            end = line.size();
+        if (end > start)
+            out.push_back(line.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+} // namespace skyway

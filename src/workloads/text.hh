@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Deterministic text-corpus generator for the WordCount workload:
+ * lines of words drawn from a Zipf-like vocabulary, the standard
+ * shape of natural-language word frequencies.
+ */
+
+#ifndef SKYWAY_WORKLOADS_TEXT_HH
+#define SKYWAY_WORKLOADS_TEXT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hh"
+
+namespace skyway
+{
+
+struct TextSpec
+{
+    std::size_t lines = 10000;
+    int wordsPerLine = 12;
+    std::size_t vocabulary = 5000;
+    double alpha = 1.3; // Zipf exponent
+    std::uint64_t seed = 99;
+};
+
+/** The vocabulary word with rank @p r (deterministic spelling). */
+std::string vocabularyWord(std::size_t r);
+
+/** Generate @p spec.lines lines of space-separated words. */
+std::vector<std::string> generateText(const TextSpec &spec);
+
+/** Split a line into words (single-space separated). */
+std::vector<std::string> tokenize(const std::string &line);
+
+} // namespace skyway
+
+#endif // SKYWAY_WORKLOADS_TEXT_HH

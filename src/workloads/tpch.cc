@@ -1,0 +1,235 @@
+#include "workloads/tpch.hh"
+
+namespace skyway
+{
+
+namespace
+{
+
+const char *regionNames[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                              "MIDDLE EAST"};
+
+const char *segments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                           "HOUSEHOLD", "MACHINERY"};
+
+const char *priorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+
+const char *shipModes[7] = {"AIR", "FOB", "MAIL", "RAIL", "REG AIR",
+                            "SHIP", "TRUCK"};
+
+} // namespace
+
+TpchData
+generateTpch(const TpchSpec &spec)
+{
+    Rng rng(spec.seed);
+    TpchData db;
+
+    for (std::int32_t r = 0; r < 5; ++r)
+        db.region.push_back({r, regionNames[r]});
+    for (std::int32_t n = 0; n < 25; ++n)
+        db.nation.push_back(
+            {n, "NATION#" + std::to_string(n),
+             static_cast<std::int32_t>(n % 5)});
+
+    std::size_t ncust = spec.customers();
+    db.customer.reserve(ncust);
+    for (std::size_t c = 0; c < ncust; ++c) {
+        db.customer.push_back(
+            {static_cast<std::int32_t>(c + 1),
+             "Customer#" + std::to_string(c + 1),
+             static_cast<std::int32_t>(rng.nextBounded(25)),
+             rng.nextDouble() * 11000.0 - 1000.0,
+             segments[rng.nextBounded(5)]});
+    }
+
+    std::size_t nsupp = spec.suppliers();
+    db.supplier.reserve(nsupp);
+    for (std::size_t s = 0; s < nsupp; ++s) {
+        db.supplier.push_back(
+            {static_cast<std::int32_t>(s + 1),
+             "Supplier#" + std::to_string(s + 1),
+             static_cast<std::int32_t>(rng.nextBounded(25)),
+             rng.nextDouble() * 11000.0 - 1000.0});
+    }
+
+    std::size_t npart = spec.parts();
+    db.part.reserve(npart);
+    for (std::size_t p = 0; p < npart; ++p) {
+        db.part.push_back(
+            {static_cast<std::int32_t>(p + 1),
+             "Part#" + std::to_string(p + 1),
+             "Manufacturer#" + std::to_string(1 + p % 5),
+             900.0 + (p % 1000) + rng.nextDouble()});
+    }
+
+    db.partsupp.reserve(spec.partsupps());
+    for (std::size_t p = 0; p < npart; ++p) {
+        for (int i = 0; i < 4; ++i) {
+            db.partsupp.push_back(
+                {static_cast<std::int32_t>(p + 1),
+                 static_cast<std::int32_t>(
+                     1 + (p * 4 + i * 7) % nsupp),
+                 rng.nextDouble() * 1000.0});
+        }
+    }
+
+    std::size_t norders = spec.orders();
+    db.orders.reserve(norders);
+    db.lineitem.reserve(norders * 4);
+    for (std::size_t o = 0; o < norders; ++o) {
+        std::int64_t okey = static_cast<std::int64_t>(o + 1);
+        auto odate = static_cast<std::int32_t>(
+            rng.nextBounded(tpchMaxDate - 151));
+        int nlines = 1 + static_cast<int>(rng.nextBounded(7));
+        double total = 0;
+        char ostatus = 'O';
+        for (int l = 0; l < nlines; ++l) {
+            TpchData::Lineitem li;
+            li.orderKey = okey;
+            li.partKey = static_cast<std::int32_t>(
+                1 + rng.nextBounded(npart));
+            li.suppKey = static_cast<std::int32_t>(
+                1 + rng.nextBounded(nsupp));
+            li.lineNumber = l + 1;
+            li.quantity = 1.0 + rng.nextBounded(50);
+            li.extendedPrice =
+                li.quantity * (900.0 + rng.nextBounded(100000) / 100.0);
+            li.discount = rng.nextBounded(11) / 100.0;
+            li.tax = rng.nextBounded(9) / 100.0;
+            li.shipDate =
+                odate + 1 + static_cast<std::int32_t>(
+                                rng.nextBounded(121));
+            li.commitDate =
+                odate + 30 + static_cast<std::int32_t>(
+                                 rng.nextBounded(61));
+            li.receiptDate =
+                li.shipDate + 1 + static_cast<std::int32_t>(
+                                      rng.nextBounded(30));
+            li.returnFlag =
+                li.receiptDate <= tpchMaxDate - 300
+                    ? (rng.nextBounded(2) ? 'R' : 'A')
+                    : 'N';
+            li.lineStatus = li.shipDate > tpchMaxDate - 180 ? 'O' : 'F';
+            li.shipMode = shipModes[rng.nextBounded(7)];
+            total += li.extendedPrice * (1 - li.discount);
+            if (li.lineStatus == 'F')
+                ostatus = 'F';
+            db.lineitem.push_back(std::move(li));
+        }
+        db.orders.push_back(
+            {okey,
+             static_cast<std::int32_t>(1 + rng.nextBounded(ncust)),
+             ostatus, total, odate, priorities[rng.nextBounded(5)]});
+    }
+    return db;
+}
+
+void
+defineTpchClasses(ClassCatalog &catalog)
+{
+    catalog.define(ClassDef{
+        "tpch.Customer",
+        "",
+        {
+            {"key", FieldType::Int, ""},
+            {"name", FieldType::Ref, "java.lang.String"},
+            {"nationKey", FieldType::Int, ""},
+            {"acctbal", FieldType::Double, ""},
+            {"mktsegment", FieldType::Ref, "java.lang.String"},
+        },
+    });
+    catalog.define(ClassDef{
+        "tpch.Supplier",
+        "",
+        {
+            {"key", FieldType::Int, ""},
+            {"name", FieldType::Ref, "java.lang.String"},
+            {"nationKey", FieldType::Int, ""},
+            {"acctbal", FieldType::Double, ""},
+        },
+    });
+    catalog.define(ClassDef{
+        "tpch.Part",
+        "",
+        {
+            {"key", FieldType::Int, ""},
+            {"name", FieldType::Ref, "java.lang.String"},
+            {"mfgr", FieldType::Ref, "java.lang.String"},
+            {"retailPrice", FieldType::Double, ""},
+        },
+    });
+    catalog.define(ClassDef{
+        "tpch.PartSupp",
+        "",
+        {
+            {"partKey", FieldType::Int, ""},
+            {"suppKey", FieldType::Int, ""},
+            {"supplyCost", FieldType::Double, ""},
+        },
+    });
+    catalog.define(ClassDef{
+        "tpch.Order",
+        "",
+        {
+            {"key", FieldType::Long, ""},
+            {"custKey", FieldType::Int, ""},
+            {"orderStatus", FieldType::Char, ""},
+            {"totalPrice", FieldType::Double, ""},
+            {"orderDate", FieldType::Int, ""},
+            {"orderPriority", FieldType::Ref, "java.lang.String"},
+        },
+    });
+    catalog.define(ClassDef{
+        "tpch.Lineitem",
+        "",
+        {
+            {"orderKey", FieldType::Long, ""},
+            {"partKey", FieldType::Int, ""},
+            {"suppKey", FieldType::Int, ""},
+            {"lineNumber", FieldType::Int, ""},
+            {"quantity", FieldType::Double, ""},
+            {"extendedPrice", FieldType::Double, ""},
+            {"discount", FieldType::Double, ""},
+            {"tax", FieldType::Double, ""},
+            {"returnFlag", FieldType::Char, ""},
+            {"lineStatus", FieldType::Char, ""},
+            {"shipDate", FieldType::Int, ""},
+            {"commitDate", FieldType::Int, ""},
+            {"receiptDate", FieldType::Int, ""},
+            {"shipMode", FieldType::Ref, "java.lang.String"},
+        },
+    });
+    // Intermediate tuple shapes used by the query plans.
+    catalog.define(ClassDef{
+        "tpch.KeyedDouble",
+        "",
+        {
+            {"key", FieldType::Long, ""},
+            {"value", FieldType::Double, ""},
+        },
+    });
+    catalog.define(ClassDef{
+        "tpch.GroupRow",
+        "",
+        {
+            {"k1", FieldType::Long, ""},
+            {"k2", FieldType::Long, ""},
+            {"sum1", FieldType::Double, ""},
+            {"sum2", FieldType::Double, ""},
+            {"sum3", FieldType::Double, ""},
+            {"count", FieldType::Long, ""},
+        },
+    });
+    catalog.define(ClassDef{
+        "tpch.NamedDouble",
+        "",
+        {
+            {"name", FieldType::Ref, "java.lang.String"},
+            {"value", FieldType::Double, ""},
+        },
+    });
+}
+
+} // namespace skyway

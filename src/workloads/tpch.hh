@@ -1,0 +1,141 @@
+/**
+ * @file
+ * A deterministic TPC-H-shaped data generator. Stands in for the
+ * 100 GB dbgen dataset the paper feeds Flink (section 5.3): same
+ * schemas and value distributions in miniature, so the five queries
+ * QA-QE (paper Table 3) exercise the same operator and shuffle
+ * shapes. Dates are day numbers counted from 1992-01-01; the
+ * generated range spans seven years, as in dbgen.
+ */
+
+#ifndef SKYWAY_WORKLOADS_TPCH_HH
+#define SKYWAY_WORKLOADS_TPCH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "klass/klass.hh"
+#include "support/rng.hh"
+
+namespace skyway
+{
+
+/** Scale knob: 1.0 ~ a few hundred thousand lineitems. */
+struct TpchSpec
+{
+    double scale = 1.0;
+    std::uint64_t seed = 7001;
+
+    std::size_t customers() const { return scaled(15000); }
+    std::size_t suppliers() const { return scaled(1000); }
+    std::size_t parts() const { return scaled(20000); }
+    std::size_t partsupps() const { return parts() * 4; }
+    std::size_t orders() const { return scaled(150000); }
+
+    std::size_t
+    scaled(std::size_t base) const
+    {
+        auto n = static_cast<std::size_t>(base * scale);
+        return n < 1 ? 1 : n;
+    }
+};
+
+/** Plain-struct rows; miniflink materializes them as heap objects. */
+struct TpchData
+{
+    struct Region
+    {
+        std::int32_t key;
+        std::string name;
+    };
+
+    struct Nation
+    {
+        std::int32_t key;
+        std::string name;
+        std::int32_t regionKey;
+    };
+
+    struct Customer
+    {
+        std::int32_t key;
+        std::string name;
+        std::int32_t nationKey;
+        double acctbal;
+        std::string mktsegment;
+    };
+
+    struct Supplier
+    {
+        std::int32_t key;
+        std::string name;
+        std::int32_t nationKey;
+        double acctbal;
+    };
+
+    struct Part
+    {
+        std::int32_t key;
+        std::string name;
+        std::string mfgr;
+        double retailPrice;
+    };
+
+    struct PartSupp
+    {
+        std::int32_t partKey;
+        std::int32_t suppKey;
+        double supplyCost;
+    };
+
+    struct Order
+    {
+        std::int64_t key;
+        std::int32_t custKey;
+        char orderStatus;
+        double totalPrice;
+        std::int32_t orderDate;
+        std::string orderPriority;
+    };
+
+    struct Lineitem
+    {
+        std::int64_t orderKey;
+        std::int32_t partKey;
+        std::int32_t suppKey;
+        std::int32_t lineNumber;
+        double quantity;
+        double extendedPrice;
+        double discount;
+        double tax;
+        char returnFlag;
+        char lineStatus;
+        std::int32_t shipDate;
+        std::int32_t commitDate;
+        std::int32_t receiptDate;
+        std::string shipMode;
+    };
+
+    std::vector<Region> region;
+    std::vector<Nation> nation;
+    std::vector<Customer> customer;
+    std::vector<Supplier> supplier;
+    std::vector<Part> part;
+    std::vector<PartSupp> partsupp;
+    std::vector<Order> orders;
+    std::vector<Lineitem> lineitem;
+};
+
+/** Last representable date (1998-12-31 as a day number). */
+constexpr std::int32_t tpchMaxDate = 2557;
+
+/** Generate the full database for @p spec. */
+TpchData generateTpch(const TpchSpec &spec);
+
+/** Register the tpch.* row classes with an application catalog. */
+void defineTpchClasses(ClassCatalog &catalog);
+
+} // namespace skyway
+
+#endif // SKYWAY_WORKLOADS_TPCH_HH

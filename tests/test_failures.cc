@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Failure-injection tests: malformed or truncated byte streams,
+ * invalid buffer protocol usage, and misuse of the runtime APIs must
+ * fail loudly (panic/fatal) rather than corrupt heaps silently. The
+ * runtime manipulates raw memory, so every guard here is
+ * load-bearing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sd/javaserializer.hh"
+#include "sd/kryoserializer.hh"
+#include "skyway/streams.hh"
+#include "testclasses.hh"
+
+namespace skyway
+{
+namespace
+{
+
+using testing_support::makePoint;
+using testing_support::makeTestCatalog;
+
+class FailureTest : public ::testing::Test
+{
+  protected:
+    FailureTest()
+        : catalog_(makeTestCatalog()),
+          net_(2),
+          a_(catalog_, net_, 0, 0),
+          b_(catalog_, net_, 1, 0)
+    {}
+
+    ClassCatalog catalog_;
+    ClusterNetwork net_;
+    Jvm a_, b_;
+};
+
+TEST_F(FailureTest, TruncatedJavaStreamDies)
+{
+    JavaSerializer ser(SdEnv{a_.heap(), a_.klasses()});
+    VectorSink sink;
+    ser.writeObject(makePoint(a_, 1, 2), sink);
+    // Drop the tail.
+    std::vector<std::uint8_t> cut(sink.bytes().begin(),
+                                  sink.bytes().end() - 5);
+    JavaSerializer des(SdEnv{b_.heap(), b_.klasses()});
+    ByteSource src(cut);
+    EXPECT_DEATH(des.readObject(src), "past end");
+}
+
+TEST_F(FailureTest, GarbageJavaStreamDies)
+{
+    std::vector<std::uint8_t> junk(64, 0x5a);
+    JavaSerializer des(SdEnv{b_.heap(), b_.klasses()});
+    ByteSource src(junk);
+    EXPECT_DEATH(des.readObject(src), "");
+}
+
+TEST_F(FailureTest, ReadPastLastObjectDies)
+{
+    JavaSerializer ser(SdEnv{a_.heap(), a_.klasses()});
+    VectorSink sink;
+    ser.writeObject(makePoint(a_, 1, 2), sink);
+    JavaSerializer des(SdEnv{b_.heap(), b_.klasses()});
+    ByteSource src(sink.bytes());
+    des.readObject(src);
+    EXPECT_DEATH(des.readObject(src), "past end");
+}
+
+TEST_F(FailureTest, KryoUnknownRegistrationIdDies)
+{
+    KryoRegistry small;
+    kryoRegisterBuiltins(small);
+    KryoRegistry big;
+    kryoRegisterBuiltins(big);
+    big.registerClass("test.Point");
+
+    // Writer registered more classes than the reader: the wire id
+    // falls off the reader's table — the classic inconsistent-
+    // registration bug Kryo users hit (paper section 2.1).
+    KryoSerializer ser(SdEnv{a_.heap(), a_.klasses()}, big);
+    VectorSink sink;
+    ser.writeObject(makePoint(a_, 3, 4), sink);
+    KryoSerializer des(SdEnv{b_.heap(), b_.klasses()}, small);
+    ByteSource src(sink.bytes());
+    EXPECT_DEATH(des.readObject(src), "");
+}
+
+TEST_F(FailureTest, SkywayUnknownMarkerWordDies)
+{
+    SkywayObjectInputStream in(b_.skyway());
+    Word bogus = marker::reserved | 0xDEAD;
+    EXPECT_DEATH(
+        in.feed(reinterpret_cast<const std::uint8_t *>(&bogus),
+                sizeof(bogus)),
+        "unknown marker");
+}
+
+TEST_F(FailureTest, SkywayFeedAfterFinalizeDies)
+{
+    a_.skyway().shuffleStart();
+    SkywayObjectInputStream in(b_.skyway());
+    SkywayObjectOutputStream out(
+        a_.skyway(),
+        [&in](const std::uint8_t *d, std::size_t n) { in.feed(d, n); });
+    out.writeObject(makePoint(a_, 1, 1));
+    out.flush();
+    in.finish();
+    std::uint8_t byte = 0;
+    EXPECT_DEATH(in.feed(&byte, 0);
+                 in.buffer().feed(&byte, 1), "");
+}
+
+TEST_F(FailureTest, SkywayReadBeforeFinishDies)
+{
+    SkywayObjectInputStream in(b_.skyway());
+    EXPECT_DEATH(in.readObject(), "before finish");
+}
+
+TEST_F(FailureTest, SkywayRecordSpanningSegmentDies)
+{
+    // Split a record across two feed calls: the receiver requires
+    // whole records per segment (the sender guarantees it).
+    a_.skyway().shuffleStart();
+    std::vector<std::uint8_t> bytes;
+    SkywayObjectOutputStream out(
+        a_.skyway(),
+        [&bytes](const std::uint8_t *d, std::size_t n) {
+            bytes.insert(bytes.end(), d, d + n);
+        });
+    out.writeObject(makePoint(a_, 1, 2));
+    out.flush();
+    ASSERT_GT(bytes.size(), 16u);
+
+    SkywayObjectInputStream in(b_.skyway());
+    EXPECT_DEATH(in.feed(bytes.data(), bytes.size() - 8), "spans");
+}
+
+TEST_F(FailureTest, SkywayBadRelativeAddressDies)
+{
+    // Hand-craft a record whose reference slot points outside the
+    // buffer: absolutization must refuse.
+    a_.skyway().shuffleStart();
+    std::vector<std::uint8_t> bytes;
+    LocalRoots roots(a_.heap());
+    Address pair =
+        a_.heap().allocateInstance(a_.klasses().load("test.Pair"));
+    std::size_t rp = roots.push(pair);
+    Address child = makePoint(a_, 1, 1);
+    field::setRef(a_.heap(), roots.get(rp),
+                  a_.klasses().load("test.Pair")->requireField("left"),
+                  child);
+    SkywayObjectOutputStream out(
+        a_.skyway(),
+        [&bytes](const std::uint8_t *d, std::size_t n) {
+            bytes.insert(bytes.end(), d, d + n);
+        });
+    out.writeObject(roots.get(rp));
+    out.flush();
+
+    // Corrupt the Pair's "left" slot (first payload word after the
+    // header of the first record, which follows the 8-byte top mark).
+    std::size_t slot_off =
+        8 + b_.heap().format().headerBytes();
+    Word huge = 1u << 30;
+    std::memcpy(bytes.data() + slot_off, &huge, sizeof(huge));
+
+    SkywayObjectInputStream in(b_.skyway());
+    in.feed(bytes.data(), bytes.size());
+    EXPECT_DEATH(in.finish(), "relative address");
+}
+
+TEST_F(FailureTest, ByteSourceGuards)
+{
+    std::vector<std::uint8_t> buf{1, 2, 3};
+    ByteSource src(buf);
+    src.readU8();
+    EXPECT_DEATH(src.readU32(), "past end");
+    // Malformed varint (all continuation bits).
+    std::vector<std::uint8_t> vi(11, 0xff);
+    ByteSource vsrc(vi);
+    EXPECT_DEATH(vsrc.readVarU64(), "varint too long");
+}
+
+TEST_F(FailureTest, OutputBufferNonSequentialWriteDies)
+{
+    OutputBuffer ob(1024, [](const std::uint8_t *, std::size_t) {});
+    ob.claim(16);
+    ob.writeAt(0, 16);
+    EXPECT_DEATH(ob.writeAt(64, 16), "non-sequential");
+}
+
+TEST_F(FailureTest, HeapOldGenExhaustionIsFatalNotSilent)
+{
+    HeapConfig tiny;
+    tiny.edenBytes = 64 << 10;
+    tiny.survivorBytes = 16 << 10;
+    tiny.oldBytes = 64 << 10;
+    ManagedHeap heap(tiny);
+    EXPECT_DEATH(heap.allocateOldRaw(1 << 20), "exhausted");
+}
+
+} // namespace
+} // namespace skyway

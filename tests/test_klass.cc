@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Unit tests for class metadata: catalog, loading, field layout,
+ * reference maps, array klasses, and the reflective lookup path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "klass/klass.hh"
+
+namespace skyway
+{
+namespace
+{
+
+ClassCatalog
+testCatalog()
+{
+    ClassCatalog cat;
+    defineBootstrapClasses(cat);
+    cat.define(ClassDef{
+        "Point",
+        "",
+        {
+            {"x", FieldType::Int, ""},
+            {"y", FieldType::Int, ""},
+        },
+    });
+    cat.define(ClassDef{
+        "Point3D",
+        "Point",
+        {
+            {"z", FieldType::Int, ""},
+        },
+    });
+    cat.define(ClassDef{
+        "Mixed",
+        "",
+        {
+            {"flag", FieldType::Boolean, ""},
+            {"big", FieldType::Long, ""},
+            {"small", FieldType::Byte, ""},
+            {"ref", FieldType::Ref, "Point"},
+            {"half", FieldType::Short, ""},
+        },
+    });
+    return cat;
+}
+
+TEST(Catalog, FindAndDuplicate)
+{
+    ClassCatalog cat = testCatalog();
+    EXPECT_NE(cat.find("Point"), nullptr);
+    EXPECT_EQ(cat.find("NoSuch"), nullptr);
+    EXPECT_DEATH(cat.define(ClassDef{"Point", "", {}}), "duplicate");
+}
+
+TEST(KlassLayout, SimpleOffsets)
+{
+    ClassCatalog cat = testCatalog();
+    KlassTable kt(cat);
+    Klass *p = kt.load("Point");
+    ASSERT_NE(p, nullptr);
+    // Header is 24 bytes with the baddr word.
+    EXPECT_EQ(p->format().headerBytes(), 24u);
+    EXPECT_EQ(p->requireField("x").offset, 24u);
+    EXPECT_EQ(p->requireField("y").offset, 28u);
+    EXPECT_EQ(p->instanceBytes(), 32u);
+}
+
+TEST(KlassLayout, VanillaFormatHasSmallerHeader)
+{
+    ClassCatalog cat = testCatalog();
+    KlassTable kt(cat, ObjectFormat{.hasBaddr = false});
+    Klass *p = kt.load("Point");
+    EXPECT_EQ(p->format().headerBytes(), 16u);
+    EXPECT_EQ(p->requireField("x").offset, 16u);
+    EXPECT_EQ(p->instanceBytes(), 24u);
+}
+
+TEST(KlassLayout, SuperFieldsComeFirst)
+{
+    ClassCatalog cat = testCatalog();
+    KlassTable kt(cat);
+    Klass *p3 = kt.load("Point3D");
+    ASSERT_EQ(p3->fields().size(), 3u);
+    EXPECT_EQ(p3->fields()[0].name, "x");
+    EXPECT_EQ(p3->fields()[1].name, "y");
+    EXPECT_EQ(p3->fields()[2].name, "z");
+    EXPECT_EQ(p3->requireField("z").offset, 32u);
+    EXPECT_EQ(p3->superChainLength(), 1);
+    // Super offsets must agree with the super class's own layout.
+    Klass *p = kt.load("Point");
+    EXPECT_EQ(p3->requireField("x").offset, p->requireField("x").offset);
+}
+
+TEST(KlassLayout, AlignmentOfMixedFields)
+{
+    ClassCatalog cat = testCatalog();
+    KlassTable kt(cat);
+    Klass *m = kt.load("Mixed");
+    // Every field offset must be a multiple of the field size.
+    for (const FieldDesc &f : m->fields())
+        EXPECT_EQ(f.offset % fieldSize(f.type), 0u)
+            << f.name << " misaligned at " << f.offset;
+    // Total size is word aligned.
+    EXPECT_EQ(m->instanceBytes() % wordSize, 0u);
+}
+
+TEST(KlassLayout, RefOffsetsCollected)
+{
+    ClassCatalog cat = testCatalog();
+    KlassTable kt(cat);
+    Klass *m = kt.load("Mixed");
+    ASSERT_EQ(m->refOffsets().size(), 1u);
+    EXPECT_EQ(m->refOffsets()[0], m->requireField("ref").offset);
+    Klass *p = kt.load("Point");
+    EXPECT_TRUE(p->refOffsets().empty());
+}
+
+TEST(KlassTable, LoadIsIdempotent)
+{
+    ClassCatalog cat = testCatalog();
+    KlassTable kt(cat);
+    Klass *a = kt.load("Point");
+    Klass *b = kt.load("Point");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(kt.findLoaded("Point"), a);
+    EXPECT_EQ(kt.findLoaded("Point3D"), nullptr);
+}
+
+TEST(KlassTable, DistinctTablesDistinctKlasses)
+{
+    // The same class is represented by different meta objects on
+    // different nodes — the reason raw klass pointers cannot cross the
+    // wire.
+    ClassCatalog cat = testCatalog();
+    KlassTable kta(cat), ktb(cat);
+    EXPECT_NE(kta.load("Point"), ktb.load("Point"));
+    EXPECT_EQ(kta.load("Point")->name(), ktb.load("Point")->name());
+}
+
+TEST(ArrayKlass, PrimitiveArrays)
+{
+    ClassCatalog cat = testCatalog();
+    KlassTable kt(cat);
+    Klass *ia = kt.arrayOfPrimitive(FieldType::Int);
+    EXPECT_EQ(ia->name(), "[I");
+    EXPECT_TRUE(ia->isArray());
+    EXPECT_EQ(ia->elemSize(), 4u);
+    // 24B header + 8B length + 3*4B elems, word-aligned -> 48.
+    EXPECT_EQ(ia->arrayBytes(3), 48u);
+    EXPECT_EQ(ia->arrayBytes(0), 32u);
+}
+
+TEST(ArrayKlass, RefArrays)
+{
+    ClassCatalog cat = testCatalog();
+    KlassTable kt(cat);
+    Klass *pa = kt.arrayOfRefs("Point");
+    EXPECT_EQ(pa->name(), "[LPoint;");
+    EXPECT_EQ(pa->elemType(), FieldType::Ref);
+    EXPECT_EQ(pa->elemClassName(), "Point");
+    EXPECT_EQ(pa->elemSize(), 8u);
+}
+
+TEST(ArrayKlass, NestedArrays)
+{
+    ClassCatalog cat = testCatalog();
+    KlassTable kt(cat);
+    Klass *aa = kt.load("[[I");
+    EXPECT_TRUE(aa->isArray());
+    EXPECT_EQ(aa->elemType(), FieldType::Ref);
+    EXPECT_EQ(aa->elemClassName(), "[I");
+    EXPECT_EQ(arrayDescriptorOfRefs("[I"), "[[I");
+}
+
+TEST(Reflection, FindFieldByName)
+{
+    ClassCatalog cat = testCatalog();
+    KlassTable kt(cat);
+    Klass *m = kt.load("Mixed");
+    EXPECT_NE(m->findField("big"), nullptr);
+    EXPECT_EQ(m->findField("nope"), nullptr);
+    EXPECT_DEATH(m->requireField("nope"), "no field");
+}
+
+TEST(KlassTable, LoadHookFires)
+{
+    ClassCatalog cat = testCatalog();
+    KlassTable kt(cat);
+    static int hook_count;
+    hook_count = 0;
+    kt.setLoadHook(
+        [](void *, Klass &k) {
+            ++hook_count;
+            k.setTid(1000 + hook_count);
+        },
+        nullptr);
+    Klass *p = kt.load("Point");
+    EXPECT_EQ(hook_count, 1);
+    EXPECT_EQ(p->tid(), 1001);
+    kt.load("Point"); // already loaded: no second fire
+    EXPECT_EQ(hook_count, 1);
+}
+
+TEST(KlassTable, ShadowedFieldIsRejected)
+{
+    ClassCatalog cat = testCatalog();
+    cat.define(ClassDef{
+        "BadShadow",
+        "Point",
+        {
+            {"x", FieldType::Long, ""}, // shadows Point.x
+        },
+    });
+    KlassTable kt(cat);
+    EXPECT_DEATH(kt.load("BadShadow"), "shadows an existing field");
+}
+
+TEST(KlassTable, DuplicateFieldInOneClassIsRejected)
+{
+    ClassCatalog cat = testCatalog();
+    cat.define(ClassDef{
+        "BadDup",
+        "",
+        {
+            {"v", FieldType::Int, ""},
+            {"v", FieldType::Long, ""},
+        },
+    });
+    KlassTable kt(cat);
+    EXPECT_DEATH(kt.load("BadDup"), "shadows an existing field");
+}
+
+TEST(KlassTable, UnknownClassIsFatal)
+{
+    ClassCatalog cat = testCatalog();
+    KlassTable kt(cat);
+    EXPECT_DEATH(kt.load("com.example.Missing"), "not found");
+}
+
+TEST(FieldType, DescriptorRoundTrip)
+{
+    for (FieldType t :
+         {FieldType::Boolean, FieldType::Byte, FieldType::Char,
+          FieldType::Short, FieldType::Int, FieldType::Long,
+          FieldType::Float, FieldType::Double, FieldType::Ref}) {
+        EXPECT_EQ(fieldTypeFromDescriptor(fieldDescriptorChar(t)), t);
+    }
+}
+
+} // namespace
+} // namespace skyway

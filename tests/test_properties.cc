@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Property-style sweeps: randomized object graphs (mixed classes,
+ * arrays, strings, sharing, cycles, nulls) must round-trip through
+ * every transport — the Java serializer, Kryo, and Skyway under
+ * several buffer/chunk geometries — and arrive isomorphic, with
+ * Skyway additionally preserving cached identity hashes. Each seed is
+ * an independent test case.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sd/javaserializer.hh"
+#include "sd/kryoserializer.hh"
+#include "skyway/streams.hh"
+#include "support/rng.hh"
+#include "testclasses.hh"
+
+namespace skyway
+{
+namespace
+{
+
+using testing_support::makeTestCatalog;
+
+/**
+ * Build a random object graph: @p n objects of mixed shapes whose
+ * reference slots are wired randomly to earlier or later objects
+ * (sharing, forward references, cycles). Returns the root slot of a
+ * Pair array holding every object.
+ */
+std::size_t
+buildRandomGraph(Jvm &jvm, LocalRoots &roots, Rng &rng, int n)
+{
+    ManagedHeap &h = jvm.heap();
+    Klass *pairK = jvm.klasses().load("test.Pair");
+    Klass *nodeK = jvm.klasses().load("test.Node");
+
+    std::vector<std::size_t> objs;
+    for (int i = 0; i < n; ++i) {
+        switch (rng.nextBounded(5)) {
+          case 0: {
+            Address p = h.allocateInstance(pairK);
+            objs.push_back(roots.push(p));
+            break;
+          }
+          case 1: {
+            Address node = h.allocateInstance(nodeK);
+            field::set<std::int64_t>(h, node,
+                                     nodeK->requireField("value"),
+                                     static_cast<std::int64_t>(
+                                         rng.nextU64()));
+            objs.push_back(roots.push(node));
+            break;
+          }
+          case 2: {
+            std::string s = "str-" +
+                            std::to_string(rng.nextBounded(1000));
+            objs.push_back(roots.push(jvm.builder().makeString(s)));
+            // Warm some content hashes.
+            if (rng.nextBounded(2))
+                jvm.builder().stringHash(roots.get(objs.back()));
+            break;
+          }
+          case 3: {
+            std::vector<std::int32_t> data(rng.nextBounded(20));
+            for (auto &x : data)
+                x = static_cast<std::int32_t>(rng.nextU32());
+            objs.push_back(
+                roots.push(jvm.builder().makeIntArray(data)));
+            break;
+          }
+          default: {
+            Address arr = jvm.builder().makeRefArray(
+                "test.Pair", 1 + rng.nextBounded(4));
+            objs.push_back(roots.push(arr));
+            break;
+          }
+        }
+    }
+
+    // Random wiring: every reference slot points at a random object
+    // (or stays null) — cycles and cross-links arise naturally.
+    for (std::size_t slot : objs) {
+        Address a = roots.get(slot);
+        const Klass *k = h.klassOf(a);
+        auto wire = [&](std::size_t off) {
+            if (rng.nextBounded(4) == 0)
+                return; // keep a null
+            Address target =
+                roots.get(objs[rng.nextBounded(objs.size())]);
+            h.storeRef(a, off, target);
+        };
+        if (k->isArray() && k->elemType() == FieldType::Ref) {
+            auto len = static_cast<std::size_t>(h.arrayLength(a));
+            for (std::size_t i = 0; i < len; ++i)
+                wire(h.arrayElemOffset(k, i));
+        } else if (!k->isArray()) {
+            for (std::uint32_t off : k->refOffsets()) {
+                // Do not rewire String.value (it must stay a char[]).
+                if (k->name() == "java.lang.String")
+                    continue;
+                wire(off);
+            }
+        }
+    }
+
+    // Root: an array referencing every object, so the whole soup is
+    // one transferable graph.
+    Address rootArr = jvm.builder().makeRefArray("test.Pair",
+                                                 objs.size());
+    std::size_t rslot = roots.push(rootArr);
+    for (std::size_t i = 0; i < objs.size(); ++i)
+        array::setRef(h, roots.get(rslot), i, roots.get(objs[i]));
+    return rslot;
+}
+
+class RandomGraphTest : public ::testing::TestWithParam<int>
+{
+  protected:
+    RandomGraphTest()
+        : catalog_(makeTestCatalog()),
+          net_(2),
+          sender_(catalog_, net_, 0, 0),
+          receiver_(catalog_, net_, 1, 0)
+    {}
+
+    ClassCatalog catalog_;
+    ClusterNetwork net_;
+    Jvm sender_;
+    Jvm receiver_;
+};
+
+TEST_P(RandomGraphTest, SkywayRoundTripPreservesGraphAndHashes)
+{
+    Rng rng(1000 + GetParam());
+    LocalRoots roots(sender_.heap());
+    std::size_t root = buildRandomGraph(sender_, roots, rng,
+                                        40 + GetParam() * 17);
+    // Vary buffer/chunk geometry with the seed.
+    std::size_t buf = 256u << (GetParam() % 5);
+    std::size_t chunk = 512u << (GetParam() % 4);
+
+    sender_.skyway().shuffleStart();
+    SkywayObjectInputStream in(receiver_.skyway(), chunk);
+    SkywayObjectOutputStream out(
+        sender_.skyway(),
+        [&in](const std::uint8_t *d, std::size_t n) { in.feed(d, n); },
+        std::max<std::size_t>(buf, 64));
+    out.writeObject(roots.get(root));
+    out.flush();
+    in.finish();
+    Address got = in.buffer().roots().at(0);
+    EXPECT_TRUE(graphsEqual(sender_.heap(), roots.get(root),
+                            receiver_.heap(), got, true))
+        << "seed " << GetParam();
+}
+
+TEST_P(RandomGraphTest, ByteSerializersRoundTrip)
+{
+    Rng rng(5000 + GetParam());
+    LocalRoots roots(sender_.heap());
+    std::size_t root =
+        buildRandomGraph(sender_, roots, rng, 30 + GetParam() * 11);
+
+    auto reg = std::make_shared<KryoRegistry>();
+    kryoRegisterBuiltins(*reg);
+    reg->registerClass("test.Pair");
+    reg->registerClass("test.Node");
+    reg->registerClass("[Ltest.Pair;");
+
+    JavaSerializer jser(SdEnv{sender_.heap(), sender_.klasses()});
+    JavaSerializer jdes(SdEnv{receiver_.heap(), receiver_.klasses()});
+    KryoSerializer kser(SdEnv{sender_.heap(), sender_.klasses()},
+                        *reg);
+    KryoSerializer kdes(SdEnv{receiver_.heap(), receiver_.klasses()},
+                        *reg);
+
+    for (int which = 0; which < 2; ++which) {
+        Serializer &ser = which ? static_cast<Serializer &>(kser)
+                                : jser;
+        Serializer &des = which ? static_cast<Serializer &>(kdes)
+                                : jdes;
+        VectorSink sink;
+        ser.writeObject(roots.get(root), sink);
+        ser.endStream(sink);
+        ByteSource src(sink.bytes());
+        Address got = des.readObject(src);
+        EXPECT_TRUE(graphsEqual(sender_.heap(), roots.get(root),
+                                receiver_.heap(), got))
+            << (which ? "kryo" : "java") << " seed " << GetParam();
+    }
+}
+
+TEST_P(RandomGraphTest, SkywayAgreesWithJavaOnTheSameGraph)
+{
+    // Cross-transport oracle: the Skyway copy and the Java-serializer
+    // copy of the same graph must be isomorphic to each other.
+    Rng rng(9000 + GetParam());
+    LocalRoots roots(sender_.heap());
+    std::size_t root =
+        buildRandomGraph(sender_, roots, rng, 25 + GetParam() * 7);
+
+    SkywaySerializer sser(sender_.skyway());
+    SkywaySerializer sdes(receiver_.skyway());
+    VectorSink ssink;
+    sser.writeObject(roots.get(root), ssink);
+    sser.endStream(ssink);
+    ByteSource ssrc(ssink.bytes());
+    Address viaSkyway = sdes.readObject(ssrc);
+
+    JavaSerializer jser(SdEnv{sender_.heap(), sender_.klasses()});
+    JavaSerializer jdes(SdEnv{receiver_.heap(), receiver_.klasses()});
+    VectorSink jsink;
+    jser.writeObject(roots.get(root), jsink);
+    ByteSource jsrc(jsink.bytes());
+    Address viaJava = jdes.readObject(jsrc);
+
+    EXPECT_TRUE(graphsEqual(receiver_.heap(), viaSkyway,
+                            receiver_.heap(), viaJava))
+        << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphTest,
+                         ::testing::Range(0, 12));
+
+/** GC interleaving property: scavenges and full GCs at arbitrary
+ *  points must never change what a subsequent transfer delivers. */
+class GcInterleavingTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GcInterleavingTest, TransferAfterCollectionsIsIdentical)
+{
+    ClassCatalog cat = makeTestCatalog();
+    ClusterNetwork net(2);
+    HeapConfig small;
+    small.edenBytes = 128 << 10;
+    small.survivorBytes = 64 << 10;
+    Jvm sender(cat, net, 0, 0, small);
+    Jvm receiver(cat, net, 1, 0);
+
+    Rng rng(300 + GetParam());
+    LocalRoots roots(sender.heap());
+    std::size_t root =
+        buildRandomGraph(sender, roots, rng, 60 + GetParam() * 13);
+
+    // Capture a reference copy first.
+    sender.skyway().shuffleStart();
+    SkywayObjectInputStream in1(receiver.skyway());
+    SkywayObjectOutputStream out1(
+        sender.skyway(),
+        [&in1](const std::uint8_t *d, std::size_t n) {
+            in1.feed(d, n);
+        });
+    out1.writeObject(roots.get(root));
+    out1.flush();
+    in1.finish();
+    Address before = in1.buffer().roots().at(0);
+
+    // Churn the sender's heap: garbage + collections move everything.
+    for (int i = 0; i < 2000; ++i)
+        sender.builder().makeString("garbage-" + std::to_string(i));
+    sender.gc().scavenge();
+    sender.gc().fullGc();
+
+    // Transfer again in a fresh phase: same graph must come out.
+    sender.skyway().shuffleStart();
+    SkywayObjectInputStream in2(receiver.skyway());
+    SkywayObjectOutputStream out2(
+        sender.skyway(),
+        [&in2](const std::uint8_t *d, std::size_t n) {
+            in2.feed(d, n);
+        });
+    out2.writeObject(roots.get(root));
+    out2.flush();
+    in2.finish();
+    Address after = in2.buffer().roots().at(0);
+
+    EXPECT_TRUE(graphsEqual(receiver.heap(), before, receiver.heap(),
+                            after, true))
+        << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcInterleavingTest,
+                         ::testing::Range(0, 6));
+
+} // namespace
+} // namespace skyway

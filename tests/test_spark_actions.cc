@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the driver-side actions: closure broadcast (paper section
+ * 2.1's closure serialization, always via the Java serializer) and
+ * the collect() action (data serialization back to the driver, via
+ * the configured data serializer).
+ */
+
+#include <gtest/gtest.h>
+
+#include "minispark/apps.hh"
+#include "sd/javaserializer.hh"
+
+namespace skyway
+{
+namespace
+{
+
+ClassCatalog
+actionCatalog()
+{
+    ClassCatalog cat = makeStandardCatalog();
+    defineSparkAppClasses(cat);
+    cat.define(ClassDef{
+        "test.Closure",
+        "",
+        {
+            {"config", FieldType::Ref, "java.lang.String"},
+            {"threshold", FieldType::Int, ""},
+        },
+    });
+    return cat;
+}
+
+TEST(ClosureBroadcast, EveryWorkerGetsAnIndependentCopy)
+{
+    ClassCatalog cat = actionCatalog();
+    JavaSerializerFactory fac;
+    SparkCluster cluster(cat, fac, SparkConfig{});
+
+    Jvm &driver = cluster.driver();
+    Klass *k = driver.klasses().load("test.Closure");
+    LocalRoots r(driver.heap());
+    std::size_t rs = r.push(driver.builder().makeString("mode=fast"));
+    Address closure = driver.heap().allocateInstance(k);
+    field::setRef(driver.heap(), closure, k->requireField("config"),
+                  r.get(rs));
+    field::set<std::int32_t>(driver.heap(), closure,
+                             k->requireField("threshold"), 7);
+
+    ClosureBroadcast bc(cluster, closure);
+    EXPECT_GT(bc.bytesPerWorker(), 0u);
+    for (int w = 0; w < cluster.numWorkers(); ++w) {
+        Jvm &jvm = cluster.worker(w);
+        Address copy = bc.onWorker(w);
+        ASSERT_NE(copy, nullAddr);
+        EXPECT_TRUE(jvm.heap().contains(copy))
+            << "copy must live on the worker's own heap";
+        EXPECT_EQ((reflect::getField<std::int32_t>(jvm.heap(), copy,
+                                                   "threshold")),
+                  7);
+        Address cfg = reflect::getRefField(jvm.heap(), copy, "config");
+        EXPECT_EQ(jvm.builder().stringValue(cfg), "mode=fast");
+        // Closure copies charge the worker's deser side.
+        EXPECT_GT(cluster.breakdown(w).deserNs, 0u);
+        EXPECT_EQ(cluster.breakdown(w).bytesRemote,
+                  bc.bytesPerWorker());
+    }
+}
+
+TEST(ClosureBroadcast, CopiesSurviveWorkerGc)
+{
+    ClassCatalog cat = actionCatalog();
+    JavaSerializerFactory fac;
+    SparkCluster cluster(cat, fac, SparkConfig{});
+    Jvm &driver = cluster.driver();
+    Klass *k = driver.klasses().load("test.Closure");
+    Address closure = driver.heap().allocateInstance(k);
+    field::set<std::int32_t>(driver.heap(), closure,
+                             k->requireField("threshold"), 42);
+    ClosureBroadcast bc(cluster, closure);
+
+    Jvm &jvm = cluster.worker(0);
+    jvm.gc().scavenge();
+    jvm.gc().fullGc();
+    EXPECT_EQ((reflect::getField<std::int32_t>(
+                  jvm.heap(), bc.onWorker(0), "threshold")),
+              42);
+}
+
+class CollectTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CollectTest, RecordsArriveOnTheDriver)
+{
+    ClassCatalog cat = actionCatalog();
+    std::shared_ptr<KryoRegistry> reg;
+    std::unique_ptr<SerializerFactory> plain;
+    auto sky = std::make_unique<ClusterSkywayFactory>();
+    std::string which = GetParam();
+    if (which == "java") {
+        plain = std::make_unique<JavaSerializerFactory>();
+    } else if (which == "kryo") {
+        reg = std::make_shared<KryoRegistry>();
+        registerSparkAppKryo(*reg);
+        plain = std::make_unique<KryoSerializerFactory>(reg);
+    }
+    SerializerFactory &fac =
+        plain ? *plain : static_cast<SerializerFactory &>(*sky);
+    SparkCluster cluster(cat, fac, SparkConfig{});
+    if (!plain)
+        sky->bind(cluster);
+
+    CollectAction collect(cluster);
+    const int per_worker = 50;
+    for (int w = 0; w < cluster.numWorkers(); ++w) {
+        Jvm &jvm = cluster.worker(w);
+        Klass *k = jvm.klasses().load("spark.Contrib");
+        for (int i = 0; i < per_worker; ++i) {
+            Address rec = jvm.heap().allocateInstance(k);
+            field::set<std::int32_t>(jvm.heap(), rec,
+                                     k->requireField("dst"),
+                                     w * 1000 + i);
+            field::set<double>(jvm.heap(), rec,
+                               k->requireField("rank"), 0.5 * i);
+            collect.add(w, rec);
+        }
+    }
+    auto result = collect.collect();
+    ASSERT_EQ(result->size(),
+              static_cast<std::size_t>(per_worker) *
+                  cluster.numWorkers());
+    EXPECT_GT(collect.bytesCollected(), 0u);
+
+    // Every record is on the driver heap with intact fields.
+    Jvm &driver = cluster.driver();
+    long sum = 0;
+    for (std::size_t i = 0; i < result->size(); ++i) {
+        Address rec = result->get(i);
+        EXPECT_TRUE(driver.heap().contains(rec));
+        sum += reflect::getField<std::int32_t>(driver.heap(), rec,
+                                               "dst");
+    }
+    long expect = 0;
+    for (int w = 0; w < cluster.numWorkers(); ++w)
+        for (int i = 0; i < per_worker; ++i)
+            expect += w * 1000 + i;
+    EXPECT_EQ(sum, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Serializers, CollectTest,
+                         ::testing::Values("java", "kryo", "skyway"));
+
+TEST(CollectAction, DoubleCollectPanics)
+{
+    ClassCatalog cat = actionCatalog();
+    JavaSerializerFactory fac;
+    SparkCluster cluster(cat, fac, SparkConfig{});
+    CollectAction collect(cluster);
+    collect.collect();
+    EXPECT_DEATH(collect.collect(), "collect called twice");
+}
+
+TEST(CollectAction, EmptyCollectIsFine)
+{
+    ClassCatalog cat = actionCatalog();
+    JavaSerializerFactory fac;
+    SparkCluster cluster(cat, fac, SparkConfig{});
+    CollectAction collect(cluster);
+    auto result = collect.collect();
+    EXPECT_EQ(result->size(), 0u);
+    EXPECT_EQ(collect.bytesCollected(), 0u);
+}
+
+} // namespace
+} // namespace skyway

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests for the workload generators (media, graphs, text, TPC-H) and
+ * the JSBS codec family: determinism, structural invariants, and
+ * byte-level round trips for every wire format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "workloads/graphgen.hh"
+#include "workloads/jsbs_family.hh"
+#include "workloads/text.hh"
+#include "workloads/tpch.hh"
+
+namespace skyway
+{
+namespace
+{
+
+class MediaTest : public ::testing::Test
+{
+  protected:
+    MediaTest() : net_(2)
+    {
+        catalog_ = makeStandardCatalog();
+        defineMediaClasses(catalog_);
+        a_ = std::make_unique<Jvm>(catalog_, net_, 0, 0);
+        b_ = std::make_unique<Jvm>(catalog_, net_, 1, 0);
+    }
+
+    ClassCatalog catalog_;
+    ClusterNetwork net_;
+    std::unique_ptr<Jvm> a_, b_;
+};
+
+TEST_F(MediaTest, GeneratedContentIsWellFormed)
+{
+    Rng rng(1);
+    LocalRoots roots(a_->heap());
+    std::size_t slot = makeMediaContent(*a_, roots, rng);
+    EXPECT_TRUE(mediaContentWellFormed(*a_, roots.get(slot)));
+}
+
+TEST_F(MediaTest, GenerationIsDeterministic)
+{
+    Rng r1(7), r2(7);
+    LocalRoots roots(a_->heap());
+    std::size_t s1 = makeMediaContent(*a_, roots, r1);
+    std::size_t s2 = makeMediaContent(*a_, roots, r2);
+    EXPECT_TRUE(graphsEqual(a_->heap(), roots.get(s1), a_->heap(),
+                            roots.get(s2)));
+}
+
+TEST_F(MediaTest, ExtractReflectiveMatchesCompiled)
+{
+    Rng rng(3);
+    LocalRoots roots(a_->heap());
+    std::size_t slot = makeMediaContent(*a_, roots, rng);
+    SdEnv env{a_->heap(), a_->klasses()};
+    MediaSchema schema(a_->klasses());
+    MediaValues fast = extractMedia(env, schema, roots.get(slot));
+    MediaValues slow = extractMediaReflective(env, roots.get(slot));
+    EXPECT_EQ(fast, slow);
+}
+
+TEST_F(MediaTest, MaterializeInvertsExtract)
+{
+    Rng rng(5);
+    LocalRoots roots(a_->heap());
+    std::size_t slot = makeMediaContent(*a_, roots, rng);
+    SdEnv env{a_->heap(), a_->klasses()};
+    MediaSchema schema(a_->klasses());
+    MediaValues v = extractMedia(env, schema, roots.get(slot));
+    Address rebuilt = materializeMedia(env, schema, v);
+    MediaValues v2 = extractMedia(env, schema, rebuilt);
+    EXPECT_EQ(v, v2);
+}
+
+TEST_F(MediaTest, AllCodecsRoundTripAcrossJvms)
+{
+    Rng rng(11);
+    LocalRoots roots(a_->heap());
+    std::size_t slot = makeMediaContent(*a_, roots, rng);
+    MediaSchema schemaA(a_->klasses());
+    SdEnv envA{a_->heap(), a_->klasses()};
+    MediaValues expect = extractMedia(envA, schemaA, roots.get(slot));
+
+    for (const JsbsCodec &codec : jsbsCodecs()) {
+        JsbsSerializer ser(envA, codec);
+        SdEnv envB{b_->heap(), b_->klasses()};
+        JsbsSerializer des(envB, codec);
+        VectorSink sink;
+        ser.writeObject(roots.get(slot), sink);
+        EXPECT_GT(sink.bytesWritten(), 0u) << codec.name;
+        ByteSource src(sink.bytes());
+        Address out = des.readObject(src);
+        ASSERT_NE(out, nullAddr) << codec.name;
+        EXPECT_TRUE(mediaContentWellFormed(*b_, out)) << codec.name;
+        MediaSchema schemaB(b_->klasses());
+        MediaValues got = extractMedia(envB, schemaB, out);
+        EXPECT_EQ(expect, got) << codec.name;
+    }
+}
+
+TEST_F(MediaTest, SelfDescribingFormatsAreBigger)
+{
+    Rng rng(13);
+    LocalRoots roots(a_->heap());
+    std::size_t slot = makeMediaContent(*a_, roots, rng);
+    SdEnv env{a_->heap(), a_->klasses()};
+    auto sizeOf = [&](const char *name) {
+        JsbsSerializer ser(env, jsbsCodec(name));
+        VectorSink sink;
+        ser.writeObject(roots.get(slot), sink);
+        return sink.bytesWritten();
+    };
+    // CBOR carries field-name strings; colfer carries 1-byte indexes.
+    EXPECT_GT(sizeOf("cbor/jackson/manual"), sizeOf("colfer"));
+    // smile's key back-references beat cbor on repeated image keys.
+    EXPECT_LT(sizeOf("smile/jackson/manual"),
+              sizeOf("cbor/jackson/manual"));
+    // capnproto's fixed layout pads more than varint formats.
+    EXPECT_GT(sizeOf("capnproto"), sizeOf("protostuff"));
+}
+
+TEST_F(MediaTest, UnknownCodecIsFatal)
+{
+    EXPECT_DEATH(jsbsCodec("no-such-codec"), "unknown codec");
+}
+
+TEST(GraphGen, Table1SpecsHaveOrderedSizes)
+{
+    auto specs = table1Graphs();
+    ASSERT_EQ(specs.size(), 4u);
+    EXPECT_EQ(specs[0].name, "LJ");
+    EXPECT_EQ(specs[3].name, "TW");
+    for (std::size_t i = 1; i < specs.size(); ++i)
+        EXPECT_GT(specs[i].edges, specs[i - 1].edges)
+            << "Table 1 ordering LJ < OR < UK < TW must hold";
+}
+
+TEST(GraphGen, GeneratesRequestedEdges)
+{
+    GraphSpec spec{"t", 1000, 5000, 2.0, 42, ""};
+    EdgeList g = generateGraph(spec);
+    EXPECT_EQ(g.numVertices, 1000u);
+    EXPECT_EQ(g.edges.size(), 5000u);
+    for (auto [u, v] : g.edges) {
+        EXPECT_LT(u, 1000u);
+        EXPECT_LT(v, 1000u);
+        EXPECT_NE(u, v);
+    }
+}
+
+TEST(GraphGen, Deterministic)
+{
+    GraphSpec spec{"t", 500, 2000, 2.0, 7, ""};
+    EdgeList a = generateGraph(spec);
+    EdgeList b = generateGraph(spec);
+    EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(GraphGen, DegreeDistributionIsSkewed)
+{
+    GraphSpec spec{"t", 10000, 50000, 2.0, 9, ""};
+    EdgeList g = generateGraph(spec);
+    auto adj = buildAdjacency(g);
+    std::size_t max_deg = 0;
+    std::size_t isolated = 0;
+    for (const auto &list : adj) {
+        max_deg = std::max(max_deg, list.size());
+        if (list.empty())
+            ++isolated;
+    }
+    // Hubs must exist, far above the mean degree (~10).
+    EXPECT_GT(max_deg, 100u);
+    // And most of the tail is sparse.
+    EXPECT_GT(isolated + 1, 0u);
+}
+
+TEST(GraphGen, AdjacencyIsSortedUnique)
+{
+    GraphSpec spec{"t", 200, 2000, 1.8, 5, ""};
+    auto adj = buildAdjacency(generateGraph(spec));
+    for (const auto &list : adj) {
+        EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+        EXPECT_EQ(std::adjacent_find(list.begin(), list.end()),
+                  list.end());
+    }
+}
+
+TEST(TextGen, ShapeAndDeterminism)
+{
+    TextSpec spec;
+    spec.lines = 100;
+    spec.wordsPerLine = 7;
+    auto lines = generateText(spec);
+    ASSERT_EQ(lines.size(), 100u);
+    for (const auto &line : lines)
+        EXPECT_EQ(tokenize(line).size(), 7u);
+    EXPECT_EQ(generateText(spec), lines);
+}
+
+TEST(TextGen, ZipfSkew)
+{
+    TextSpec spec;
+    spec.lines = 2000;
+    auto lines = generateText(spec);
+    std::unordered_map<std::string, int> freq;
+    for (const auto &line : lines)
+        for (auto &w : tokenize(line))
+            ++freq[w];
+    // The most frequent word must dominate the median word.
+    int maxf = 0;
+    for (auto &[w, f] : freq)
+        maxf = std::max(maxf, f);
+    EXPECT_GT(maxf, 50);
+}
+
+TEST(Tpch, RowCountsScale)
+{
+    TpchSpec spec;
+    spec.scale = 0.1;
+    TpchData db = generateTpch(spec);
+    EXPECT_EQ(db.region.size(), 5u);
+    EXPECT_EQ(db.nation.size(), 25u);
+    EXPECT_EQ(db.customer.size(), spec.customers());
+    EXPECT_EQ(db.orders.size(), spec.orders());
+    EXPECT_GE(db.lineitem.size(), db.orders.size());
+    EXPECT_LE(db.lineitem.size(), db.orders.size() * 7);
+}
+
+TEST(Tpch, ReferentialIntegrity)
+{
+    TpchSpec spec;
+    spec.scale = 0.05;
+    TpchData db = generateTpch(spec);
+    for (const auto &c : db.customer)
+        EXPECT_LT(static_cast<std::size_t>(c.nationKey),
+                  db.nation.size());
+    for (const auto &o : db.orders) {
+        EXPECT_GE(o.custKey, 1);
+        EXPECT_LE(static_cast<std::size_t>(o.custKey),
+                  db.customer.size());
+    }
+    for (const auto &li : db.lineitem) {
+        EXPECT_GE(li.orderKey, 1);
+        EXPECT_LE(static_cast<std::size_t>(li.orderKey),
+                  db.orders.size());
+        EXPECT_LE(li.shipDate, tpchMaxDate);
+        EXPECT_GT(li.receiptDate, li.shipDate);
+        EXPECT_GE(li.discount, 0.0);
+        EXPECT_LE(li.discount, 0.10);
+    }
+}
+
+TEST(Tpch, Deterministic)
+{
+    TpchSpec spec;
+    spec.scale = 0.02;
+    TpchData a = generateTpch(spec);
+    TpchData b = generateTpch(spec);
+    ASSERT_EQ(a.lineitem.size(), b.lineitem.size());
+    for (std::size_t i = 0; i < a.lineitem.size(); i += 97) {
+        EXPECT_EQ(a.lineitem[i].extendedPrice,
+                  b.lineitem[i].extendedPrice);
+        EXPECT_EQ(a.lineitem[i].shipMode, b.lineitem[i].shipMode);
+    }
+}
+
+} // namespace
+} // namespace skyway
