@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rehash.dir/bench_ablation_rehash.cc.o"
+  "CMakeFiles/bench_ablation_rehash.dir/bench_ablation_rehash.cc.o.d"
+  "bench_ablation_rehash"
+  "bench_ablation_rehash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rehash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_typerep.dir/bench_ablation_typerep.cc.o"
+  "CMakeFiles/bench_ablation_typerep.dir/bench_ablation_typerep.cc.o.d"
+  "bench_ablation_typerep"
+  "bench_ablation_typerep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_typerep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_jsbs.dir/bench_fig7_jsbs.cc.o"
+  "CMakeFiles/bench_fig7_jsbs.dir/bench_fig7_jsbs.cc.o.d"
+  "bench_fig7_jsbs"
+  "bench_fig7_jsbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_jsbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8a_spark.dir/bench_fig8a_spark.cc.o"
+  "CMakeFiles/bench_fig8a_spark.dir/bench_fig8a_spark.cc.o.d"
+  "bench_fig8a_spark"
+  "bench_fig8a_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

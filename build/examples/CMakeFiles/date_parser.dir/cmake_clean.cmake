@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/date_parser.dir/date_parser.cpp.o"
+  "CMakeFiles/date_parser.dir/date_parser.cpp.o.d"
+  "date_parser"
+  "date_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/date_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flink_query.dir/flink_query.cpp.o"
+  "CMakeFiles/flink_query.dir/flink_query.cpp.o.d"
+  "flink_query"
+  "flink_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flink_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spark_wordcount.dir/spark_wordcount.cpp.o"
+  "CMakeFiles/spark_wordcount.dir/spark_wordcount.cpp.o.d"
+  "spark_wordcount"
+  "spark_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spark_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

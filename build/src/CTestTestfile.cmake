@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("heap")
+subdirs("klass")
+subdirs("gc")
+subdirs("net")
+subdirs("iomodel")
+subdirs("typereg")
+subdirs("sd")
+subdirs("skyway")
+subdirs("minispark")
+subdirs("miniflink")
+subdirs("workloads")

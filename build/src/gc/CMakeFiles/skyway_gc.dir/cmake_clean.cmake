@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyway_gc.dir/collector.cc.o"
+  "CMakeFiles/skyway_gc.dir/collector.cc.o.d"
+  "libskyway_gc.a"
+  "libskyway_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyway_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heap/heap.cc" "src/heap/CMakeFiles/skyway_heap.dir/heap.cc.o" "gcc" "src/heap/CMakeFiles/skyway_heap.dir/heap.cc.o.d"
+  "/root/repo/src/heap/objectops.cc" "src/heap/CMakeFiles/skyway_heap.dir/objectops.cc.o" "gcc" "src/heap/CMakeFiles/skyway_heap.dir/objectops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/klass/CMakeFiles/skyway_klass.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/skyway_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyway_heap.dir/heap.cc.o"
+  "CMakeFiles/skyway_heap.dir/heap.cc.o.d"
+  "CMakeFiles/skyway_heap.dir/objectops.cc.o"
+  "CMakeFiles/skyway_heap.dir/objectops.cc.o.d"
+  "libskyway_heap.a"
+  "libskyway_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyway_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyway_iomodel.dir/breakdown.cc.o"
+  "CMakeFiles/skyway_iomodel.dir/breakdown.cc.o.d"
+  "libskyway_iomodel.a"
+  "libskyway_iomodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyway_iomodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyway_klass.dir/klass.cc.o"
+  "CMakeFiles/skyway_klass.dir/klass.cc.o.d"
+  "libskyway_klass.a"
+  "libskyway_klass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyway_klass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

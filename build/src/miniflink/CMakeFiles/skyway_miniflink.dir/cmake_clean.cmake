@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyway_miniflink.dir/miniflink.cc.o"
+  "CMakeFiles/skyway_miniflink.dir/miniflink.cc.o.d"
+  "CMakeFiles/skyway_miniflink.dir/queries.cc.o"
+  "CMakeFiles/skyway_miniflink.dir/queries.cc.o.d"
+  "libskyway_miniflink.a"
+  "libskyway_miniflink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyway_miniflink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyway_minispark.dir/apps.cc.o"
+  "CMakeFiles/skyway_minispark.dir/apps.cc.o.d"
+  "CMakeFiles/skyway_minispark.dir/minispark.cc.o"
+  "CMakeFiles/skyway_minispark.dir/minispark.cc.o.d"
+  "libskyway_minispark.a"
+  "libskyway_minispark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyway_minispark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyway_net.dir/cluster.cc.o"
+  "CMakeFiles/skyway_net.dir/cluster.cc.o.d"
+  "libskyway_net.a"
+  "libskyway_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyway_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

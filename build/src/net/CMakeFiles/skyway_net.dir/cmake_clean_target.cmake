@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libskyway_net.a"
+)

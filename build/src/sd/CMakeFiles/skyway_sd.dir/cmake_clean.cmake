@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyway_sd.dir/javaserializer.cc.o"
+  "CMakeFiles/skyway_sd.dir/javaserializer.cc.o.d"
+  "CMakeFiles/skyway_sd.dir/kryoserializer.cc.o"
+  "CMakeFiles/skyway_sd.dir/kryoserializer.cc.o.d"
+  "libskyway_sd.a"
+  "libskyway_sd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyway_sd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyway_core.dir/inputbuffer.cc.o"
+  "CMakeFiles/skyway_core.dir/inputbuffer.cc.o.d"
+  "CMakeFiles/skyway_core.dir/jvm.cc.o"
+  "CMakeFiles/skyway_core.dir/jvm.cc.o.d"
+  "CMakeFiles/skyway_core.dir/sender.cc.o"
+  "CMakeFiles/skyway_core.dir/sender.cc.o.d"
+  "CMakeFiles/skyway_core.dir/streams.cc.o"
+  "CMakeFiles/skyway_core.dir/streams.cc.o.d"
+  "libskyway_core.a"
+  "libskyway_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyway_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

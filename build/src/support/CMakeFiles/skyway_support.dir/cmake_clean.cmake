@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyway_support.dir/logging.cc.o"
+  "CMakeFiles/skyway_support.dir/logging.cc.o.d"
+  "libskyway_support.a"
+  "libskyway_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyway_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libskyway_support.a"
+)

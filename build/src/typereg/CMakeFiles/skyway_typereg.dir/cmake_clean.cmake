@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyway_typereg.dir/registry.cc.o"
+  "CMakeFiles/skyway_typereg.dir/registry.cc.o.d"
+  "libskyway_typereg.a"
+  "libskyway_typereg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyway_typereg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyway_workloads.dir/graphgen.cc.o"
+  "CMakeFiles/skyway_workloads.dir/graphgen.cc.o.d"
+  "CMakeFiles/skyway_workloads.dir/jsbs_family.cc.o"
+  "CMakeFiles/skyway_workloads.dir/jsbs_family.cc.o.d"
+  "CMakeFiles/skyway_workloads.dir/media.cc.o"
+  "CMakeFiles/skyway_workloads.dir/media.cc.o.d"
+  "CMakeFiles/skyway_workloads.dir/text.cc.o"
+  "CMakeFiles/skyway_workloads.dir/text.cc.o.d"
+  "CMakeFiles/skyway_workloads.dir/tpch.cc.o"
+  "CMakeFiles/skyway_workloads.dir/tpch.cc.o.d"
+  "libskyway_workloads.a"
+  "libskyway_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyway_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_klass.dir/test_klass.cc.o"
+  "CMakeFiles/test_klass.dir/test_klass.cc.o.d"
+  "test_klass"
+  "test_klass.pdb"
+  "test_klass[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_klass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

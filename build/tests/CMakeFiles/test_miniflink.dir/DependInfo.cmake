@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_miniflink.cc" "tests/CMakeFiles/test_miniflink.dir/test_miniflink.cc.o" "gcc" "tests/CMakeFiles/test_miniflink.dir/test_miniflink.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/miniflink/CMakeFiles/skyway_miniflink.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/skyway_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/skyway/CMakeFiles/skyway_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/skyway_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/typereg/CMakeFiles/skyway_typereg.dir/DependInfo.cmake"
+  "/root/repo/build/src/iomodel/CMakeFiles/skyway_iomodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skyway_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sd/CMakeFiles/skyway_sd.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/skyway_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/klass/CMakeFiles/skyway_klass.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/skyway_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

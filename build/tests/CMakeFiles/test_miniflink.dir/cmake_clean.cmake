@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miniflink.dir/test_miniflink.cc.o"
+  "CMakeFiles/test_miniflink.dir/test_miniflink.cc.o.d"
+  "test_miniflink"
+  "test_miniflink.pdb"
+  "test_miniflink[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miniflink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minispark.dir/test_minispark.cc.o"
+  "CMakeFiles/test_minispark.dir/test_minispark.cc.o.d"
+  "test_minispark"
+  "test_minispark.pdb"
+  "test_minispark[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minispark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sd.dir/test_sd.cc.o"
+  "CMakeFiles/test_sd.dir/test_sd.cc.o.d"
+  "test_sd"
+  "test_sd.pdb"
+  "test_sd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skyway.dir/test_skyway.cc.o"
+  "CMakeFiles/test_skyway.dir/test_skyway.cc.o.d"
+  "test_skyway"
+  "test_skyway.pdb"
+  "test_skyway[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skyway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

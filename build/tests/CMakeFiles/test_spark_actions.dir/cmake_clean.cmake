@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spark_actions.dir/test_spark_actions.cc.o"
+  "CMakeFiles/test_spark_actions.dir/test_spark_actions.cc.o.d"
+  "test_spark_actions"
+  "test_spark_actions.pdb"
+  "test_spark_actions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spark_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

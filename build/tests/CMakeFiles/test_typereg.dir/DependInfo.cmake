@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_typereg.cc" "tests/CMakeFiles/test_typereg.dir/test_typereg.cc.o" "gcc" "tests/CMakeFiles/test_typereg.dir/test_typereg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/typereg/CMakeFiles/skyway_typereg.dir/DependInfo.cmake"
+  "/root/repo/build/src/klass/CMakeFiles/skyway_klass.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skyway_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/skyway_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

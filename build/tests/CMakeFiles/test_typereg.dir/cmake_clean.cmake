@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_typereg.dir/test_typereg.cc.o"
+  "CMakeFiles/test_typereg.dir/test_typereg.cc.o.d"
+  "test_typereg"
+  "test_typereg.pdb"
+  "test_typereg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_typereg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
