@@ -17,6 +17,8 @@ int
 main(int argc, char **argv)
 {
     double scale = bench::parseScale(argc, argv, 1.0);
+    bench::JsonReport report(argc, argv, "bench_ablation_chunks",
+                             scale);
     const int records = static_cast<int>(60000 * scale);
     ClassCatalog cat = bench::fullCatalog();
     ClusterNetwork net(2);
@@ -42,6 +44,7 @@ main(int argc, char **argv)
 
     for (std::size_t chunk : {4u << 10, 16u << 10, 64u << 10,
                               256u << 10, 1u << 20}) {
+        auto row = report.row(std::to_string(chunk));
         sender.skyway().shuffleStart();
         SkywayObjectInputStream in(receiver.skyway(), chunk);
         std::uint64_t send_ns = 0, recv_ns = 0;
@@ -69,6 +72,11 @@ main(int argc, char **argv)
                     send_ns / 1e6, recv_ns / 1e6,
                     in.buffer().chunkCount(),
                     static_cast<unsigned long long>(fed));
+        row.value("send_ms", send_ns / 1e6);
+        row.value("recv_ms", recv_ns / 1e6);
+        row.value("chunks",
+                  static_cast<double>(in.buffer().chunkCount()));
+        row.value("flushes", static_cast<double>(fed));
         auto buf = in.releaseBuffer();
         buf->free();
         receiver.gc().fullGc();

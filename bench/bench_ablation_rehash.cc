@@ -21,6 +21,8 @@ int
 main(int argc, char **argv)
 {
     double scale = bench::parseScale(argc, argv, 1.0);
+    bench::JsonReport report(argc, argv, "bench_ablation_rehash",
+                             scale);
     const int objects = static_cast<int>(50000 * scale);
     ClassCatalog cat = bench::fullCatalog();
     ClusterNetwork net(2);
@@ -56,6 +58,7 @@ main(int argc, char **argv)
     // Path 1: Skyway — hashes arrive cached in the mark word.
     std::vector<Address> sky_objs;
     {
+        auto row = report.row("skyway");
         SkywaySerializer ser(sender.skyway());
         SkywaySerializer des(receiver.skyway());
         VectorSink sink;
@@ -75,11 +78,15 @@ main(int argc, char **argv)
                     "(%llu/%d hashes arrived cached)\n",
                     n, ns / 1e6,
                     static_cast<unsigned long long>(cached), objects);
+        row.value("table_build_ms", ns / 1e6);
+        row.value("hashes_cached", static_cast<double>(cached));
+        row.value("table_size", static_cast<double>(n));
     }
 
     // Path 2: Kryo — objects are recreated, identity hashes must be
     // recomputed and the table effectively rebuilt from scratch.
     {
+        auto row = report.row("kryo");
         auto reg = std::make_shared<KryoRegistry>();
         registerSparkAppKryo(*reg);
         KryoSerializer ser(SdEnv{sender.heap(), sender.klasses()},
@@ -106,6 +113,9 @@ main(int argc, char **argv)
                     "(%llu/%d hashes arrived cached)\n",
                     n, ns / 1e6,
                     static_cast<unsigned long long>(cached), objects);
+        row.value("table_build_ms", ns / 1e6);
+        row.value("hashes_cached", static_cast<double>(cached));
+        row.value("table_size", static_cast<double>(n));
     }
     std::printf("\n(with preserved hashes the layout of hash-based "
                 "structures can be reused immediately — the paper's "

@@ -22,6 +22,8 @@ int
 main(int argc, char **argv)
 {
     double scale = bench::parseScale(argc, argv, 1.0);
+    bench::JsonReport report(argc, argv, "bench_ablation_typerep",
+                             scale);
     const int objects = static_cast<int>(20000 * scale);
     ClassCatalog cat = bench::fullCatalog();
     ClusterNetwork net(2);
@@ -50,6 +52,7 @@ main(int argc, char **argv)
 
     auto run = [&](const std::string &name, Serializer &ser,
                    Serializer &des) {
+        auto row = report.row(name);
         VectorSink sink;
         std::uint64_t ser_ns = 0, deser_ns = 0;
         {
@@ -70,6 +73,13 @@ main(int argc, char **argv)
                     sink.bytesWritten(),
                     static_cast<double>(sink.bytesWritten()) /
                         objects);
+        row.value("ser_ms", ser_ns / 1e6);
+        row.value("deser_ms", deser_ns / 1e6);
+        row.value("bytes",
+                  static_cast<double>(sink.bytesWritten()));
+        row.value("bytes_per_object",
+                  static_cast<double>(sink.bytesWritten()) /
+                      objects);
     };
 
     {

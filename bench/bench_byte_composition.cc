@@ -18,6 +18,9 @@ int
 main(int argc, char **argv)
 {
     double scale = bench::parseScale(argc, argv, 0.5);
+    bench::JsonReport report(argc, argv, "bench_byte_composition",
+                             scale);
+    auto row = report.row("spark-mix");
     ClassCatalog cat = bench::fullCatalog();
     ClusterNetwork net(2);
     Jvm sender(cat, net, 0, 0);
@@ -79,5 +82,12 @@ main(int argc, char **argv)
                 100.0 * s.paddingBytes / extra);
     std::printf("  pointers: %5.1f%%   (paper: 15%%)\n",
                 100.0 * s.pointerBytes / extra);
+    row.value("objects_copied",
+              static_cast<double>(s.objectsCopied));
+    row.value("total_bytes", static_cast<double>(s.bytesCopied));
+    row.value("data_bytes", static_cast<double>(s.dataBytes));
+    row.value("header_pct", 100.0 * s.headerBytes / extra);
+    row.value("padding_pct", 100.0 * s.paddingBytes / extra);
+    row.value("pointer_pct", 100.0 * s.pointerBytes / extra);
     return 0;
 }

@@ -19,6 +19,8 @@ int
 main(int argc, char **argv)
 {
     double scale = bench::parseScale(argc, argv, 0.25);
+    bench::JsonReport report(argc, argv, "bench_fig3_spark_breakdown",
+                             scale);
     ClassCatalog cat = bench::fullCatalog();
     EdgeList lj = generateGraph(liveJournalShaped(scale));
 
@@ -34,10 +36,21 @@ main(int argc, char **argv)
     std::vector<std::pair<std::string, SparkAppResult>> outcomes;
 
     for (const std::string which : {"kryo", "java"}) {
+        auto row = report.row(which);
         bench::SparkSetup setup = bench::makeSparkSetup(which);
         auto cluster = bench::makeCluster(cat, setup);
         SparkAppResult res = runTriangleCount(*cluster, lj);
         bench::printBreakdownRow(which, res.average);
+        row.value("compute_ms", res.average.computeNs / 1e6);
+        row.value("ser_ms", res.average.serNs / 1e6);
+        row.value("write_ms", res.average.writeIoNs / 1e6);
+        row.value("deser_ms", res.average.deserNs / 1e6);
+        row.value("read_ms", res.average.readIoNs / 1e6);
+        row.value("total_ms", res.average.totalNs() / 1e6);
+        row.value("local_bytes",
+                  static_cast<double>(res.total.bytesLocal));
+        row.value("remote_bytes",
+                  static_cast<double>(res.total.bytesRemote));
         outcomes.emplace_back(which, res);
     }
 

@@ -114,6 +114,7 @@ int
 main(int argc, char **argv)
 {
     double scale = bench::parseScale(argc, argv, 1.0);
+    bench::JsonReport report(argc, argv, "bench_fig7_jsbs", scale);
     const int objects = static_cast<int>(1500 * scale);
     const int fanout = 4; // 5 nodes, broadcast to the other 4
     NetworkCostModel net = gigabitEthernet();
@@ -133,6 +134,7 @@ main(int argc, char **argv)
     std::vector<Row> rows;
     auto runLibrary = [&](const std::string &name, Serializer &ser,
                           Serializer &des, bool per_object_reset) {
+        auto jrow = report.row(name);
         // Serialize each object into its own byte array (the JSBS
         // protocol).
         std::vector<std::vector<std::uint8_t>> payloads;
@@ -161,6 +163,11 @@ main(int argc, char **argv)
             des.releaseReceived();
         }
         double net_ms = net.transferNs(bytes) * fanout / 1e6;
+        jrow.value("ser_ms", ser_ns / 1e6);
+        jrow.value("deser_ms", deser_ns / 1e6);
+        jrow.value("net_ms", net_ms);
+        jrow.value("bytes_per_object",
+                   static_cast<double>(bytes) / objects);
         rows.push_back(Row{name, ser_ns / 1e6, deser_ns / 1e6, net_ms,
                            static_cast<double>(bytes) / objects});
     };

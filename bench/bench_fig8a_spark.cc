@@ -82,6 +82,7 @@ int
 main(int argc, char **argv)
 {
     double scale = bench::parseScale(argc, argv, 0.12);
+    bench::JsonReport report(argc, argv, "bench_fig8a_spark", scale);
     ClassCatalog cat = bench::fullCatalog();
 
     const std::vector<std::string> serializers = {"java", "kryo",
@@ -102,6 +103,8 @@ main(int argc, char **argv)
         std::vector<std::string> text = edgeListAsText(g);
         for (const std::string &app : apps) {
             for (const std::string &ser : serializers) {
+                auto row = report.row(spec.name + "-" + app + "/" +
+                                      ser);
                 bench::SparkSetup setup = bench::makeSparkSetup(ser);
                 SparkConfig cfg;
                 // TriangleCounting's wedge shuffles tenure hundreds
@@ -119,6 +122,14 @@ main(int argc, char **argv)
                     res = runTriangleCount(*cluster, g);
                 bench::printBreakdownRow(
                     spec.name + "-" + app + "/" + ser, res.average);
+                row.value("compute_ms", res.average.computeNs / 1e6);
+                row.value("ser_ms", res.average.serNs / 1e6);
+                row.value("write_ms", res.average.writeIoNs / 1e6);
+                row.value("deser_ms", res.average.deserNs / 1e6);
+                row.value("read_ms", res.average.readIoNs / 1e6);
+                row.value("total_ms", res.average.totalNs() / 1e6);
+                row.value("shuffled_bytes",
+                          static_cast<double>(res.shuffledBytes));
                 grid[{spec.name, app}][ser] = res;
             }
             // Cross-serializer result check.

@@ -20,6 +20,7 @@ int
 main(int argc, char **argv)
 {
     double scale = bench::parseScale(argc, argv, 0.25);
+    bench::JsonReport report(argc, argv, "bench_fig8b_flink", scale);
     ClassCatalog cat = makeStandardCatalog();
     defineTpchClasses(cat);
 
@@ -41,15 +42,31 @@ main(int argc, char **argv)
     };
     std::vector<std::pair<char, Pair>> results;
 
+    auto recordValues = [](bench::JsonReport::Row &row,
+                           const FlinkQueryResult &res) {
+        row.value("compute_ms", res.average.computeNs / 1e6);
+        row.value("ser_ms", res.average.serNs / 1e6);
+        row.value("write_ms", res.average.writeIoNs / 1e6);
+        row.value("deser_ms", res.average.deserNs / 1e6);
+        row.value("read_ms", res.average.readIoNs / 1e6);
+        row.value("total_ms", res.average.totalNs() / 1e6);
+        row.value("shuffled_bytes",
+                  static_cast<double>(res.shuffledBytes));
+    };
+
     for (char q : {'A', 'B', 'C', 'D', 'E'}) {
         Pair p;
         {
+            auto row = report.row(std::string("Q") + q + "/builtin");
             FlinkCluster cluster(cat, FlinkSerMode::Builtin);
             p.builtin = runQuery(q, cluster, db);
+            recordValues(row, p.builtin);
         }
         {
+            auto row = report.row(std::string("Q") + q + "/skyway");
             FlinkCluster cluster(cat, FlinkSerMode::Skyway);
             p.skyway = runQuery(q, cluster, db);
+            recordValues(row, p.skyway);
         }
         bench::printBreakdownRow(std::string("Q") + q + "/builtin",
                                  p.builtin.average);

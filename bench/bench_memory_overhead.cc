@@ -47,6 +47,8 @@ int
 main(int argc, char **argv)
 {
     double scale = bench::parseScale(argc, argv, 0.1);
+    bench::JsonReport report(argc, argv, "bench_memory_overhead",
+                             scale);
     ClassCatalog cat = bench::fullCatalog();
     EdgeList g = generateGraph(liveJournalShaped(scale));
     std::vector<std::string> text;
@@ -62,12 +64,17 @@ main(int argc, char **argv)
     double sum = 0;
     int n = 0;
     for (const std::string app : {"WC", "CC", "PR", "TC"}) {
+        auto row = report.row(app);
         std::uint64_t with = peakFor(cat, true, app, g, text);
         std::uint64_t without = peakFor(cat, false, app, g, text);
         double ovh = 100.0 * (static_cast<double>(with) - without) /
                      without;
         std::printf("%-6s %14.2f %14.2f %9.1f%%\n", app.c_str(),
                     with / 1e6, without / 1e6, ovh);
+        row.value("skyway_peak_bytes", static_cast<double>(with));
+        row.value("vanilla_peak_bytes",
+                  static_cast<double>(without));
+        row.value("overhead_pct", ovh);
         sum += ovh;
         ++n;
     }

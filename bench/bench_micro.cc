@@ -8,12 +8,20 @@
  * and receive paths at several graph sizes.
  */
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "sd/javaserializer.hh"
 #include "sd/kryoserializer.hh"
 #include "skyway/jvm.hh"
 #include "skyway/streams.hh"
+#include "support/logging.hh"
 #include "support/rng.hh"
 
 using namespace skyway;
@@ -248,6 +256,132 @@ BM_SkywayTransferBatch(benchmark::State &state)
 }
 BENCHMARK(BM_SkywayTransferBatch)->Arg(10)->Arg(100)->Arg(1000);
 
+/**
+ * ConsoleReporter that additionally captures one JSON row per
+ * completed run, in the same schema the table benches emit through
+ * bench::JsonReport (docs/OBSERVABILITY.md). Registered-metric deltas
+ * are taken per benchmark family — the finest granularity the
+ * reporter callback offers.
+ */
+class JsonRowReporter : public benchmark::ConsoleReporter
+{
+  public:
+    bool
+    ReportContext(const Context &context) override
+    {
+        last_ = obs::MetricsRegistry::global().snapshot();
+        return ConsoleReporter::ReportContext(context);
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        ConsoleReporter::ReportRuns(runs);
+        obs::MetricsSnapshot now =
+            obs::MetricsRegistry::global().snapshot();
+        obs::MetricsSnapshot delta = now.deltaSince(last_);
+        for (const Run &run : runs) {
+            if (run.run_type != Run::RT_Iteration ||
+                run.error_occurred)
+                continue;
+            obs::JsonWriter w;
+            w.beginObject();
+            w.key("bench").value("bench_micro");
+            w.key("scale").value(1.0);
+            w.key("label").value(run.benchmark_name());
+            w.key("wall_ms").value(run.real_accumulated_time * 1e3);
+            w.key("values");
+            w.beginObject();
+            w.key("ns_per_iter").value(run.GetAdjustedRealTime());
+            w.key("iterations").value(
+                static_cast<std::int64_t>(run.iterations));
+            for (const auto &[name, counter] : run.counters)
+                w.key(name).value(counter.value);
+            w.endObject();
+            w.key("metrics");
+            w.beginObject();
+            for (const auto &[k, v] : delta.scalars)
+                w.key(k).value(v);
+            w.endObject();
+            w.endObject();
+            rows.push_back(std::move(w).str());
+        }
+        last_ = std::move(now);
+    }
+
+    std::vector<std::string> rows;
+
+  private:
+    obs::MetricsSnapshot last_;
+};
+
+void
+writeJsonDoc(const std::string &path,
+             const std::vector<std::string> &rows)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("schema_version").value(std::uint64_t{1});
+    w.key("bench").value("bench_micro");
+    w.key("scale").value(1.0);
+    w.key("rows");
+    w.beginArray();
+    for (const std::string &r : rows)
+        w.raw(r);
+    w.endArray();
+    w.key("registry").raw(obs::MetricsRegistry::global().toJson());
+    w.key("tracer").raw(obs::SpanTracer::global().toJson());
+    w.endObject();
+    std::string doc = std::move(w).str();
+
+    std::string err;
+    if (!obs::jsonValidate(doc, err))
+        fatal("bench_micro: emitted invalid JSON: " + err);
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("bench_micro: cannot open " + path);
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\n[json] wrote %zu rows to %s\n", rows.size(),
+                path.c_str());
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Strip the flags the table benches share (--json=, --scale=)
+    // before google-benchmark sees argv; it rejects unknown flags.
+    std::string json_path;
+    std::vector<char *> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            json_path = argv[i] + 7;
+        else if (std::strncmp(argv[i], "--scale=", 8) == 0)
+            ; // accepted for CLI uniformity; micro benches don't scale
+        else
+            args.push_back(argv[i]);
+    }
+    if (json_path.empty())
+        if (const char *env = std::getenv("SKYWAY_BENCH_JSON"))
+            json_path = env;
+    if (!json_path.empty())
+        obs::SpanTracer::setTracingEnabled(true);
+
+    int bargc = static_cast<int>(args.size());
+    benchmark::Initialize(&bargc, args.data());
+    if (json_path.empty()) {
+        // No custom reporter: --benchmark_format etc. keep working.
+        benchmark::RunSpecifiedBenchmarks();
+    } else {
+        JsonRowReporter reporter;
+        benchmark::RunSpecifiedBenchmarks(&reporter);
+        writeJsonDoc(json_path, reporter.rows);
+    }
+    benchmark::Shutdown();
+    return 0;
+}

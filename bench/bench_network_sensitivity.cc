@@ -20,6 +20,8 @@ int
 main(int argc, char **argv)
 {
     double scale = bench::parseScale(argc, argv, 0.15);
+    bench::JsonReport report(argc, argv,
+                             "bench_network_sensitivity", scale);
     ClassCatalog cat = bench::fullCatalog();
     EdgeList g = generateGraph(liveJournalShaped(scale));
 
@@ -44,12 +46,16 @@ main(int argc, char **argv)
         double totals[3];
         int i = 0;
         for (const std::string which : {"java", "kryo", "skyway"}) {
+            auto row =
+                report.row(std::string(link.name) + "/" + which);
             bench::SparkSetup setup = bench::makeSparkSetup(which);
             SparkConfig cfg;
             cfg.network = link.model;
             auto cluster = bench::makeCluster(cat, setup, cfg);
             SparkAppResult res = runPageRank(*cluster, g, 5);
-            totals[i++] = res.average.totalNs() / 1e6;
+            totals[i] = res.average.totalNs() / 1e6;
+            row.value("total_ms", totals[i]);
+            ++i;
         }
         const char *winner =
             totals[2] <= totals[0] && totals[2] <= totals[1]

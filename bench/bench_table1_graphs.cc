@@ -15,6 +15,7 @@ int
 main(int argc, char **argv)
 {
     double scale = bench::parseScale(argc, argv, 1.0);
+    bench::JsonReport report(argc, argv, "bench_table1_graphs", scale);
 
     bench::printHeader("Table 1: graph inputs (synthetic stand-ins)");
     std::printf("%-6s %12s %12s %10s %10s  %s\n", "graph", "vertices",
@@ -24,6 +25,7 @@ main(int argc, char **argv)
                                           936'000'000, 1'500'000'000};
     int i = 0;
     for (const GraphSpec &spec : table1Graphs(scale)) {
+        auto row = report.row(spec.name);
         EdgeList g = generateGraph(spec);
         auto adj = buildAdjacency(g);
         std::size_t maxdeg = 0;
@@ -33,6 +35,9 @@ main(int argc, char **argv)
                     spec.name.c_str(), g.numVertices, g.edges.size(),
                     maxdeg, paper_edges[i] / 1'000'000,
                     spec.description.c_str());
+        row.value("vertices", g.numVertices);
+        row.value("edges", static_cast<double>(g.edges.size()));
+        row.value("max_degree", static_cast<double>(maxdeg));
         ++i;
     }
     std::printf("\n(scale factor %.3f; originals are 69M-1.5B edges;\n"

@@ -14,9 +14,15 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "minispark/apps.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "sd/javaserializer.hh"
+#include "support/stopwatch.hh"
 #include "workloads/jsbs_family.hh"
 
 namespace skyway
@@ -105,6 +111,170 @@ printHeader(const char *title)
 {
     std::printf("\n==== %s ====\n", title);
 }
+
+/** `--json=FILE` on the command line (empty = no JSON output). */
+inline std::string
+parseJsonPath(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            return argv[i] + 7;
+    }
+    if (const char *env = std::getenv("SKYWAY_BENCH_JSON"))
+        return env;
+    return "";
+}
+
+/**
+ * Machine-readable bench output (docs/OBSERVABILITY.md). Every bench
+ * constructs one JsonReport; each printed table row is bracketed by a
+ * JsonReport::Row scope, which measures wall time and the per-row
+ * delta of every registered metric. write() (also run by the
+ * destructor) assembles the document
+ *
+ *   { "schema_version": 1, "bench": ..., "scale": ...,
+ *     "rows": [ { "bench", "scale", "label", "wall_ms",
+ *                 "values": {...},   // the row's printed numbers
+ *                 "metrics": {...} } ],  // per-row counter deltas
+ *     "registry": {...},   // full registry incl. histograms
+ *     "tracer": {...} }    // spans + per-shuffle phases
+ *
+ * validates that it parses, and writes it to the `--json=FILE` path.
+ * With no --json flag everything is a no-op.
+ */
+class JsonReport
+{
+  public:
+    JsonReport(int argc, char **argv, std::string bench_name,
+               double scale)
+        : bench_(std::move(bench_name)),
+          scale_(scale),
+          path_(parseJsonPath(argc, argv))
+    {
+        // Span tracing is off by default (hot-path budget); a JSON
+        // report is an explicit request for the full picture.
+        if (enabled())
+            obs::SpanTracer::setTracingEnabled(true);
+    }
+
+    JsonReport(const JsonReport &) = delete;
+    JsonReport &operator=(const JsonReport &) = delete;
+
+    ~JsonReport() { write(); }
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** One table row; finalized when the scope closes. */
+    class Row
+    {
+      public:
+        Row(JsonReport &rep, std::string label)
+            : rep_(rep), label_(std::move(label))
+        {
+            if (rep_.enabled())
+                before_ = obs::MetricsRegistry::global().snapshot();
+        }
+
+        Row(const Row &) = delete;
+        Row &operator=(const Row &) = delete;
+
+        ~Row()
+        {
+            if (rep_.enabled())
+                rep_.finishRow(*this);
+        }
+
+        /** Attach one of the row's printed numbers by name. */
+        void
+        value(const std::string &key, double v)
+        {
+            if (rep_.enabled())
+                values_.emplace_back(key, v);
+        }
+
+      private:
+        friend class JsonReport;
+
+        JsonReport &rep_;
+        std::string label_;
+        obs::MetricsSnapshot before_;
+        Stopwatch sw_;
+        std::vector<std::pair<std::string, double>> values_;
+    };
+
+    Row row(std::string label) { return Row(*this, std::move(label)); }
+
+    /** Assemble, validate, and write the document (idempotent). */
+    void
+    write()
+    {
+        if (!enabled() || written_)
+            return;
+        obs::JsonWriter w;
+        w.beginObject();
+        w.key("schema_version").value(std::uint64_t{1});
+        w.key("bench").value(bench_);
+        w.key("scale").value(scale_);
+        w.key("rows");
+        w.beginArray();
+        for (const std::string &r : rows_)
+            w.raw(r);
+        w.endArray();
+        w.key("registry").raw(
+            obs::MetricsRegistry::global().toJson());
+        w.key("tracer").raw(obs::SpanTracer::global().toJson());
+        w.endObject();
+        std::string doc = std::move(w).str();
+
+        std::string err;
+        if (!obs::jsonValidate(doc, err))
+            fatal("JsonReport: emitted invalid JSON: " + err);
+
+        std::FILE *f = std::fopen(path_.c_str(), "w");
+        if (!f)
+            fatal("JsonReport: cannot open " + path_);
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("\n[json] wrote %zu rows to %s\n", rows_.size(),
+                    path_.c_str());
+        written_ = true;
+    }
+
+  private:
+    void
+    finishRow(Row &r)
+    {
+        double wall_ms = r.sw_.elapsedNs() / 1e6;
+        obs::MetricsSnapshot delta =
+            obs::MetricsRegistry::global().snapshot().deltaSince(
+                r.before_);
+        obs::JsonWriter w;
+        w.beginObject();
+        w.key("bench").value(bench_);
+        w.key("scale").value(scale_);
+        w.key("label").value(r.label_);
+        w.key("wall_ms").value(wall_ms);
+        w.key("values");
+        w.beginObject();
+        for (const auto &[k, v] : r.values_)
+            w.key(k).value(v);
+        w.endObject();
+        w.key("metrics");
+        w.beginObject();
+        for (const auto &[k, v] : delta.scalars)
+            w.key(k).value(v);
+        w.endObject();
+        w.endObject();
+        rows_.push_back(std::move(w).str());
+    }
+
+    std::string bench_;
+    double scale_;
+    std::string path_;
+    std::vector<std::string> rows_;
+    bool written_ = false;
+};
 
 /** One breakdown row in milliseconds, Figure 3/8 style. */
 inline void

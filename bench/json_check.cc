@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Validator for the machine-readable bench output
+ * (docs/OBSERVABILITY.md): checks that a `--json=FILE` document
+ * parses as JSON and carries the schema's required top-level keys.
+ * The bench-smoke CTest targets run every bench at a small scale and
+ * pass the result through this tool.
+ *
+ * Usage: json_check FILE...
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace
+{
+
+bool
+readFile(const char *path, std::string &out)
+{
+    std::FILE *f = std::fopen(path, "rb");
+    if (!f)
+        return false;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return true;
+}
+
+bool
+checkFile(const char *path)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "json_check: cannot read %s\n", path);
+        return false;
+    }
+    std::string err;
+    if (!skyway::obs::jsonValidate(text, err)) {
+        std::fprintf(stderr, "json_check: %s: invalid JSON: %s\n",
+                     path, err.c_str());
+        return false;
+    }
+    // The document is valid JSON; now require the schema's top-level
+    // keys. The emitter only ever writes these as object keys, so a
+    // quoted-substring check is exact here.
+    for (const char *key : {"\"schema_version\"", "\"bench\"",
+                            "\"scale\"", "\"rows\"", "\"registry\"",
+                            "\"tracer\""}) {
+        if (text.find(key) == std::string::npos) {
+            std::fprintf(stderr,
+                         "json_check: %s: missing required key %s\n",
+                         path, key);
+            return false;
+        }
+    }
+    std::printf("json_check: %s ok (%zu bytes)\n", path, text.size());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: json_check FILE...\n");
+        return 2;
+    }
+    bool ok = true;
+    for (int i = 1; i < argc; ++i)
+        ok = checkFile(argv[i]) && ok;
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,26 @@
+# Driver for the bench-smoke CTest targets: run one bench binary with
+# --json=OUT (plus any extra ARGS), then validate the emitted document
+# with json_check. Invoked as
+#   cmake -DBENCH=... -DOUT=... -DCHECK=... [-DARGS=...] -P smoke.cmake
+# ARGS is a semicolon-separated list (e.g. "--scale=0.02").
+
+if(NOT DEFINED BENCH OR NOT DEFINED OUT OR NOT DEFINED CHECK)
+    message(FATAL_ERROR "smoke.cmake: BENCH, OUT, and CHECK required")
+endif()
+
+execute_process(
+    COMMAND ${BENCH} ${ARGS} --json=${OUT}
+    RESULT_VARIABLE bench_rc
+    OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR
+        "smoke.cmake: ${BENCH} exited with ${bench_rc}")
+endif()
+
+execute_process(
+    COMMAND ${CHECK} ${OUT}
+    RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "smoke.cmake: json_check rejected ${OUT} (${check_rc})")
+endif()

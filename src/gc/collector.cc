@@ -3,12 +3,46 @@
 #include <algorithm>
 
 #include "heap/objectops.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "support/stopwatch.hh"
 
 namespace skyway
 {
 
 namespace
 {
+
+/** Registry-backed collector counters, resolved once per process. */
+struct GcMetrics
+{
+    obs::Counter &scavenges;
+    obs::Counter &fullGcs;
+    obs::Counter &youngCopiedBytes;
+    obs::Counter &promotedBytes;
+    obs::Counter &oldSweptBytes;
+    obs::Counter &markedObjects;
+    obs::Histogram &pauseNs;
+
+    static GcMetrics &
+    get()
+    {
+        auto &r = obs::MetricsRegistry::global();
+        static GcMetrics m{
+            r.counter("gc.scavenges"),
+            r.counter("gc.full_gcs"),
+            r.counter("gc.young_copied_bytes"),
+            r.counter("gc.promoted_bytes"),
+            r.counter("gc.old_swept_bytes"),
+            r.counter("gc.marked_objects"),
+            // 1 µs .. ~1 s in x4 steps: young pauses land at the
+            // bottom, full collections near the top.
+            r.histogram("gc.pause_ns",
+                        obs::exponentialBounds(1000, 4.0, 10)),
+        };
+        return m;
+    }
+};
 
 /** Forwarding is encoded in the mark word: bit 0 set, address above. */
 constexpr Word forwardBit = 0x1;
@@ -41,7 +75,15 @@ GenerationalGc::GenerationalGc(ManagedHeap &heap) : heap_(heap)
 void
 GenerationalGc::scavenge()
 {
+    SKYWAY_SPAN("gc.scavenge");
+    Stopwatch pause;
     scavengeImpl(false);
+
+    GcMetrics &m = GcMetrics::get();
+    m.scavenges.inc();
+    m.youngCopiedBytes.add(last_.youngCopiedBytes);
+    m.promotedBytes.add(last_.promotedBytes);
+    m.pauseNs.record(pause.elapsedNs());
 }
 
 Address
@@ -152,6 +194,9 @@ GenerationalGc::scavengeImpl(bool promote_all)
 void
 GenerationalGc::fullGc()
 {
+    SKYWAY_SPAN("gc.full");
+    Stopwatch pause;
+
     // Phase 1: force-promote every young survivor so the young
     // generation is empty and marking only has to deal with the old
     // generation (as Parallel Scavenge's full GC effectively does).
@@ -185,6 +230,16 @@ GenerationalGc::fullGc()
     // Phase 3: sweep the old generation.
     sweepOld();
     ++heap_.stats().fullGcs;
+
+    // last_ carries the whole cycle: the force-promoting scavenge of
+    // phase 1 plus the mark and sweep tallies.
+    GcMetrics &m = GcMetrics::get();
+    m.fullGcs.inc();
+    m.youngCopiedBytes.add(last_.youngCopiedBytes);
+    m.promotedBytes.add(last_.promotedBytes);
+    m.oldSweptBytes.add(last_.oldSweptBytes);
+    m.markedObjects.add(last_.markedObjects);
+    m.pauseNs.record(pause.elapsedNs());
 }
 
 void

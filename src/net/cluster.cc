@@ -1,7 +1,41 @@
 #include "net/cluster.hh"
 
+#include "obs/metrics.hh"
+
 namespace skyway
 {
+
+namespace
+{
+
+/** Registry-backed fabric counters, resolved once per process. */
+struct NetMetrics
+{
+    obs::Counter &bytesSent;
+    obs::Counter &messagesSent;
+    obs::Counter &wireNs;
+    obs::Counter &requests;
+    obs::Histogram &messageBytes;
+
+    static NetMetrics &
+    get()
+    {
+        auto &r = obs::MetricsRegistry::global();
+        static NetMetrics m{
+            r.counter("net.bytes_sent"),
+            r.counter("net.messages_sent"),
+            r.counter("net.wire_ns"),
+            r.counter("net.requests"),
+            // 64 B .. ~16 MB in x4 steps: spans a type-registry
+            // request through a full output-buffer flush.
+            r.histogram("net.message_bytes",
+                        obs::exponentialBounds(64, 4.0, 10)),
+        };
+        return m;
+    }
+};
+
+} // namespace
 
 ClusterNetwork::ClusterNetwork(int node_count, NetworkCostModel model)
     : nodeCount_(node_count),
@@ -20,9 +54,16 @@ ClusterNetwork::charge(NodeId src, NodeId dst, std::size_t bytes)
 {
     if (src == dst)
         return; // loopback is free and not counted as remote bytes
-    wireNs_[src] += model_.transferNs(bytes);
+    std::uint64_t ns = model_.transferNs(bytes);
+    wireNs_[src] += ns;
     bytes_[src * nodeCount_ + dst] += bytes;
     ++msgs_[src];
+
+    NetMetrics &m = NetMetrics::get();
+    m.bytesSent.add(bytes);
+    m.messagesSent.inc();
+    m.wireNs.add(ns);
+    m.messageBytes.record(bytes);
 }
 
 void
@@ -81,12 +122,16 @@ ClusterNetwork::request(NodeId src, NodeId dst, int tag,
         charge(src, dst, payload.size());
     }
     panicIf(!handler, "request: node has no registered handler");
+    NetMetrics::get().requests.inc();
     std::vector<std::uint8_t> reply = handler(src, tag, payload);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         // The requester blocks for the reply as well.
-        if (src != dst)
-            wireNs_[src] += model_.transferNs(reply.size());
+        if (src != dst) {
+            std::uint64_t ns = model_.transferNs(reply.size());
+            wireNs_[src] += ns;
+            NetMetrics::get().wireNs.add(ns);
+        }
     }
     return reply;
 }

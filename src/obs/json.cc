@@ -1,0 +1,428 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace skyway
+{
+namespace obs
+{
+
+void
+jsonEscape(std::string_view s, std::string &out)
+{
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+void
+JsonWriter::beforeValue()
+{
+    panicIf(done_, "JsonWriter: document already complete");
+    if (!stack_.empty() && stack_.back() == Frame::Object)
+        panicIf(!keyPending_, "JsonWriter: value in object needs key()");
+    if (needComma_ && !keyPending_)
+        out_ += ',';
+    needComma_ = false;
+    keyPending_ = false;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ += '{';
+    stack_.push_back(Frame::Object);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    panicIf(stack_.empty() || stack_.back() != Frame::Object ||
+                keyPending_,
+            "JsonWriter: mismatched endObject");
+    stack_.pop_back();
+    out_ += '}';
+    needComma_ = true;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ += '[';
+    stack_.push_back(Frame::Array);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    panicIf(stack_.empty() || stack_.back() != Frame::Array,
+            "JsonWriter: mismatched endArray");
+    stack_.pop_back();
+    out_ += ']';
+    needComma_ = true;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    panicIf(stack_.empty() || stack_.back() != Frame::Object ||
+                keyPending_,
+            "JsonWriter: key() outside object or doubled");
+    if (needComma_)
+        out_ += ',';
+    needComma_ = false;
+    out_ += '"';
+    jsonEscape(k, out_);
+    out_ += "\":";
+    keyPending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view s)
+{
+    beforeValue();
+    out_ += '"';
+    jsonEscape(s, out_);
+    out_ += '"';
+    needComma_ = true;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    needComma_ = true;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    needComma_ = true;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    if (!std::isfinite(v)) {
+        // JSON has no Infinity/NaN; represent as null.
+        out_ += "null";
+    } else {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        out_ += buf;
+    }
+    needComma_ = true;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    out_ += v ? "true" : "false";
+    needComma_ = true;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    out_ += "null";
+    needComma_ = true;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::raw(std::string_view json)
+{
+    panicIf(json.empty(), "JsonWriter: raw() with empty splice");
+    beforeValue();
+    out_.append(json);
+    needComma_ = true;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+std::string
+JsonWriter::str() &&
+{
+    panicIf(!stack_.empty() || !done_,
+            "JsonWriter: document incomplete");
+    return std::move(out_);
+}
+
+namespace
+{
+
+/** Validating recursive-descent parser over a string_view. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    bool
+    run(std::string &error)
+    {
+        try {
+            skipWs();
+            parseValue(0);
+            skipWs();
+            if (pos_ != text_.size())
+                fail("trailing content after document");
+        } catch (const std::string &msg) {
+            error = msg;
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw "JSON error at byte " + std::to_string(pos_) + ": " +
+            what;
+    }
+
+    char
+    peek() const
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    void
+    expect(std::string_view lit)
+    {
+        if (text_.compare(pos_, lit.size(), lit) != 0)
+            fail("expected '" + std::string(lit) + "'");
+        pos_ += lit.size();
+    }
+
+    void
+    parseString()
+    {
+        expect("\"");
+        while (true) {
+            char c = peek();
+            ++pos_;
+            if (c == '"')
+                return;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c == '\\') {
+                char e = peek();
+                ++pos_;
+                switch (e) {
+                case '"':
+                case '\\':
+                case '/':
+                case 'b':
+                case 'f':
+                case 'n':
+                case 'r':
+                case 't':
+                    break;
+                case 'u':
+                    for (int i = 0; i < 4; ++i) {
+                        if (!std::isxdigit(
+                                static_cast<unsigned char>(peek())))
+                            fail("bad \\u escape");
+                        ++pos_;
+                    }
+                    break;
+                default:
+                    fail("unknown escape");
+                }
+            }
+        }
+    }
+
+    void
+    parseNumber()
+    {
+        if (peek() == '-')
+            ++pos_;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            fail("malformed number");
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                fail("malformed fraction");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                fail("malformed exponent");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+    }
+
+    void
+    parseValue(int depth)
+    {
+        if (depth > maxDepth)
+            fail("nesting too deep");
+        switch (peek()) {
+        case '{': {
+            ++pos_;
+            skipWs();
+            if (peek() == '}') {
+                ++pos_;
+                return;
+            }
+            while (true) {
+                skipWs();
+                parseString();
+                skipWs();
+                expect(":");
+                skipWs();
+                parseValue(depth + 1);
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect("}");
+                return;
+            }
+        }
+        case '[': {
+            ++pos_;
+            skipWs();
+            if (peek() == ']') {
+                ++pos_;
+                return;
+            }
+            while (true) {
+                skipWs();
+                parseValue(depth + 1);
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect("]");
+                return;
+            }
+        }
+        case '"':
+            parseString();
+            return;
+        case 't':
+            expect("true");
+            return;
+        case 'f':
+            expect("false");
+            return;
+        case 'n':
+            expect("null");
+            return;
+        default:
+            parseNumber();
+            return;
+        }
+    }
+
+    static constexpr int maxDepth = 128;
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+jsonValidate(std::string_view text, std::string &error)
+{
+    return Parser(text).run(error);
+}
+
+} // namespace obs
+} // namespace skyway

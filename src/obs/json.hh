@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Minimal JSON support for the observability layer: a streaming
+ * writer (correct escaping, automatic commas) used by the metrics
+ * registry, the span tracer, and the bench reporters — and a
+ * validating recursive-descent parser used by tests and the
+ * bench-smoke target to prove emitted files are well-formed without
+ * any external JSON dependency.
+ */
+
+#ifndef SKYWAY_OBS_JSON_HH
+#define SKYWAY_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skyway
+{
+namespace obs
+{
+
+/**
+ * An append-only JSON writer. Containers nest via
+ * beginObject/endObject and beginArray/endArray; the writer inserts
+ * commas and panics on malformed sequences (a key outside an object,
+ * two keys in a row, unbalanced ends).
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** The next member's name; must be inside an object. */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(std::string_view s);
+    JsonWriter &value(const char *s) { return value(std::string_view(s)); }
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    /** Finite doubles with enough digits to round-trip. */
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /**
+     * Splice @p json — already-serialized JSON — in value position
+     * (e.g. a registry dump inside a bench row). Not re-validated.
+     */
+    JsonWriter &raw(std::string_view json);
+
+    /** The finished document; all containers must be closed. */
+    std::string str() &&;
+
+  private:
+    enum class Frame : std::uint8_t
+    {
+        Object,
+        Array
+    };
+
+    void beforeValue();
+
+    std::string out_;
+    std::vector<Frame> stack_;
+    bool needComma_ = false;
+    bool keyPending_ = false;
+    bool done_ = false;
+};
+
+/** Append @p s to @p out with JSON string escaping (no quotes). */
+void jsonEscape(std::string_view s, std::string &out);
+
+/**
+ * Validate that @p text is exactly one well-formed JSON value.
+ * Returns true on success; otherwise false with a position-annotated
+ * message in @p error.
+ */
+bool jsonValidate(std::string_view text, std::string &error);
+
+} // namespace obs
+} // namespace skyway
+
+#endif // SKYWAY_OBS_JSON_HH

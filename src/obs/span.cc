@@ -1,0 +1,145 @@
+#include "obs/span.hh"
+
+#include <cstdlib>
+
+#include "obs/json.hh"
+
+namespace skyway
+{
+namespace obs
+{
+
+std::atomic<bool> SpanTracer::tracingEnabled_{
+    std::getenv("SKYWAY_TRACE") != nullptr};
+
+SpanTracer &
+SpanTracer::global()
+{
+    static SpanTracer tracer;
+    return tracer;
+}
+
+SpanStats &
+SpanTracer::span(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = spans_.find(name);
+    if (it == spans_.end())
+        it = spans_
+                 .emplace(std::string(name),
+                          std::make_unique<SpanStats>())
+                 .first;
+    return *it->second;
+}
+
+std::vector<SpanTracer::SpanRow>
+SpanTracer::segmentRowsLocked() const
+{
+    std::vector<SpanRow> rows;
+    for (const auto &[name, stats] : spans_) {
+        std::uint64_t count = stats->count();
+        std::uint64_t total = stats->totalNs();
+        auto bit = baseline_.find(name);
+        if (bit != baseline_.end()) {
+            count -= bit->second.count;
+            total -= bit->second.totalNs;
+        }
+        if (count != 0)
+            rows.push_back(SpanRow{name, count, total});
+    }
+    return rows;
+}
+
+void
+SpanTracer::beginPhase(std::string label)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<SpanRow> rows = segmentRowsLocked();
+    if (!rows.empty()) {
+        phases_.push_back(
+            PhaseReport{currentLabel_, std::move(rows)});
+        if (phases_.size() > maxPhases) {
+            phases_.pop_front();
+            ++dropped_;
+        }
+    }
+    for (const auto &[name, stats] : spans_)
+        baseline_[name] = Baseline{stats->count(), stats->totalNs()};
+    currentLabel_ = std::move(label);
+}
+
+std::vector<SpanTracer::PhaseReport>
+SpanTracer::completedPhases() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {phases_.begin(), phases_.end()};
+}
+
+std::vector<SpanTracer::SpanRow>
+SpanTracer::cumulative() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<SpanRow> rows;
+    rows.reserve(spans_.size());
+    for (const auto &[name, stats] : spans_)
+        rows.push_back(SpanRow{name, stats->count(),
+                               stats->totalNs()});
+    return rows;
+}
+
+std::string
+SpanTracer::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JsonWriter w;
+    w.beginObject();
+    w.key("spans");
+    w.beginObject();
+    for (const auto &[name, stats] : spans_) {
+        w.key(name);
+        w.beginObject();
+        w.key("count").value(stats->count());
+        w.key("total_ns").value(stats->totalNs());
+        w.key("max_ns").value(stats->maxNs());
+        w.endObject();
+    }
+    w.endObject();
+    w.key("phases");
+    w.beginArray();
+    for (const PhaseReport &p : phases_) {
+        w.beginObject();
+        w.key("label").value(p.label);
+        w.key("spans");
+        w.beginObject();
+        for (const SpanRow &r : p.spans) {
+            w.key(r.name);
+            w.beginObject();
+            w.key("count").value(r.count);
+            w.key("total_ns").value(r.totalNs);
+            w.endObject();
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.key("dropped_phases").value(dropped_);
+    w.endObject();
+    return std::move(w).str();
+}
+
+void
+SpanTracer::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, stats] : spans_) {
+        (void)name;
+        stats->reset();
+    }
+    baseline_.clear();
+    phases_.clear();
+    dropped_ = 0;
+    currentLabel_ = "startup";
+}
+
+} // namespace obs
+} // namespace skyway

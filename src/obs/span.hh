@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Lightweight span tracing for the transfer path. A span is a named
+ * RAII scope — `SKYWAY_SPAN("sender.writeObject");` — whose elapsed
+ * time (support/stopwatch.hh) folds into a process-wide per-name
+ * aggregate: count, total ns, max ns, all relaxed atomics.
+ *
+ * The tracer additionally aggregates per *shuffle phase*:
+ * SkywayContext::shuffleStart() calls SpanTracer::beginPhase(), which
+ * closes the current segment (per-span deltas since the previous
+ * boundary) and opens a new one. The paper's evaluation attributes
+ * cost per shuffle (Figures 3/8); phase segments give the same
+ * attribution for free on any workload.
+ *
+ * Span registration (first SKYWAY_SPAN execution per site) takes a
+ * mutex; the scope itself is two clock reads and three relaxed
+ * atomic adds — no locks, no allocation.
+ *
+ * Tracing is OFF by default: SKYWAY_SPAN sites check one relaxed
+ * atomic bool and skip the clock reads entirely when disabled, so
+ * un-traced runs pay ~1 ns per site (the ≤2% hot-path budget). The
+ * bench `--json` path and SKYWAY_TRACE=1 turn it on
+ * (SpanTracer::setTracingEnabled).
+ */
+
+#ifndef SKYWAY_OBS_SPAN_HH
+#define SKYWAY_OBS_SPAN_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/stopwatch.hh"
+
+namespace skyway
+{
+namespace obs
+{
+
+/** Cumulative aggregate for one span name. */
+class SpanStats
+{
+  public:
+    void
+    record(std::uint64_t ns)
+    {
+        count_.fetch_add(1, std::memory_order_relaxed);
+        totalNs_.fetch_add(ns, std::memory_order_relaxed);
+        std::uint64_t seen = maxNs_.load(std::memory_order_relaxed);
+        while (ns > seen &&
+               !maxNs_.compare_exchange_weak(
+                   seen, ns, std::memory_order_relaxed))
+            ;
+    }
+
+    std::uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    totalNs() const
+    {
+        return totalNs_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    maxNs() const
+    {
+        return maxNs_.load(std::memory_order_relaxed);
+    }
+
+    /** Quiescent-state only: a concurrent record() may be lost. */
+    void
+    reset()
+    {
+        count_.store(0, std::memory_order_relaxed);
+        totalNs_.store(0, std::memory_order_relaxed);
+        maxNs_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> totalNs_{0};
+    std::atomic<std::uint64_t> maxNs_{0};
+};
+
+/**
+ * RAII scope feeding one SpanStats. The pointer form is the gated
+ * variant SKYWAY_SPAN expands to: a null target skips the clock
+ * entirely (tracing disabled).
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(SpanStats &stats)
+        : stats_(&stats), start_(Stopwatch::Clock::now())
+    {}
+
+    explicit ScopedSpan(SpanStats *stats) : stats_(stats)
+    {
+        if (stats_)
+            start_ = Stopwatch::Clock::now();
+    }
+
+    ~ScopedSpan()
+    {
+        if (stats_)
+            stats_->record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Stopwatch::Clock::now() - start_)
+                    .count()));
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    SpanStats *stats_;
+    Stopwatch::Clock::time_point start_{};
+};
+
+class SpanTracer
+{
+  public:
+    /** One span's contribution to a phase (or to the cumulative view). */
+    struct SpanRow
+    {
+        std::string name;
+        std::uint64_t count;
+        std::uint64_t totalNs;
+    };
+
+    /** Per-span deltas accumulated between two phase boundaries. */
+    struct PhaseReport
+    {
+        std::string label;
+        std::vector<SpanRow> spans;
+    };
+
+    static SpanTracer &global();
+
+    /**
+     * Process-wide tracing gate. Off by default (or on when the
+     * SKYWAY_TRACE env var is set); SKYWAY_SPAN sites skip their
+     * clock reads entirely while it is off. Flipping it is safe at
+     * any time — spans already open keep their target.
+     */
+    static bool
+    tracingEnabled()
+    {
+        return tracingEnabled_.load(std::memory_order_relaxed);
+    }
+
+    static void
+    setTracingEnabled(bool on)
+    {
+        tracingEnabled_.store(on, std::memory_order_relaxed);
+    }
+
+    /**
+     * The aggregate named @p name, creating it on first use; the
+     * returned reference is stable for the tracer's lifetime. Sites
+     * cache it (SKYWAY_SPAN does so with a function-local static).
+     */
+    SpanStats &span(std::string_view name);
+
+    /**
+     * Close the current phase segment under its existing label and
+     * open a new one labeled @p label. Spans with no activity in the
+     * segment are omitted; segments with no activity at all are
+     * dropped. At most `maxPhases` completed segments are retained
+     * (oldest evicted; see droppedPhases()).
+     */
+    void beginPhase(std::string label);
+
+    std::vector<PhaseReport> completedPhases() const;
+
+    /** Segments evicted from the completed-phase window so far. */
+    std::uint64_t droppedPhases() const { return dropped_; }
+
+    /** Cumulative (all-time) rows, name-sorted. */
+    std::vector<SpanRow> cumulative() const;
+
+    /**
+     * {"spans":{name:{count,total_ns,max_ns}},"phases":[...]} — the
+     * document the bench JSON embeds next to the metrics registry.
+     */
+    std::string toJson() const;
+
+    /** Forget all measurements and phases; registrations survive. */
+    void reset();
+
+    static constexpr std::size_t maxPhases = 64;
+
+  private:
+    struct Baseline
+    {
+        std::uint64_t count = 0;
+        std::uint64_t totalNs = 0;
+    };
+
+    /** Build the current segment's rows; caller holds mutex_. */
+    std::vector<SpanRow> segmentRowsLocked() const;
+
+    static std::atomic<bool> tracingEnabled_;
+
+    mutable std::mutex mutex_;
+    /** Ordered map: JSON and reports come out name-sorted. */
+    std::map<std::string, std::unique_ptr<SpanStats>, std::less<>>
+        spans_;
+    /** Per-span values at the last phase boundary. */
+    std::map<std::string, Baseline, std::less<>> baseline_;
+    std::string currentLabel_ = "startup";
+    std::deque<PhaseReport> phases_;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace obs
+} // namespace skyway
+
+#define SKYWAY_OBS_CONCAT2(a, b) a##b
+#define SKYWAY_OBS_CONCAT(a, b) SKYWAY_OBS_CONCAT2(a, b)
+
+/**
+ * Time the rest of the enclosing scope under @p name. The per-site
+ * SpanStats lookup runs once (function-local static); each traced
+ * execution costs two clock reads and three relaxed atomic adds, and
+ * each un-traced one a single relaxed bool load
+ * (SpanTracer::tracingEnabled).
+ */
+#define SKYWAY_SPAN(name)                                              \
+    static ::skyway::obs::SpanStats &SKYWAY_OBS_CONCAT(               \
+        skywaySpanStats_, __LINE__) =                                  \
+        ::skyway::obs::SpanTracer::global().span(name);                \
+    ::skyway::obs::ScopedSpan SKYWAY_OBS_CONCAT(skywaySpanScope_,      \
+                                                __LINE__)(             \
+        ::skyway::obs::SpanTracer::tracingEnabled()                    \
+            ? &SKYWAY_OBS_CONCAT(skywaySpanStats_, __LINE__)           \
+            : nullptr)
+
+#endif // SKYWAY_OBS_SPAN_HH

@@ -1,7 +1,39 @@
 #include "sd/javaserializer.hh"
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+
 namespace skyway
 {
+
+namespace
+{
+
+/** Registry-backed baseline-serializer counters. */
+struct JavaSdMetrics
+{
+    obs::Counter &objectsWritten;
+    obs::Counter &bytesWritten;
+    obs::Counter &objectsRead;
+    obs::Counter &descriptorsWritten;
+    obs::Counter &reflectiveAccesses;
+
+    static JavaSdMetrics &
+    get()
+    {
+        auto &r = obs::MetricsRegistry::global();
+        static JavaSdMetrics m{
+            r.counter("sd.java.objects_written"),
+            r.counter("sd.java.bytes_written"),
+            r.counter("sd.java.objects_read"),
+            r.counter("sd.java.descriptors_written"),
+            r.counter("sd.java.reflective_accesses"),
+        };
+        return m;
+    }
+};
+
+} // namespace
 
 JavaSerializer::JavaSerializer(SdEnv env, int reset_interval)
     : env_(env),
@@ -157,6 +189,11 @@ JavaSerializer::writeRecord(Address obj, ByteSink &out)
 void
 JavaSerializer::writeObject(Address root, ByteSink &out)
 {
+    SKYWAY_SPAN("sd.java.write");
+    std::size_t bytes_before = out.bytesWritten();
+    std::uint64_t desc_before = descWritten_;
+    std::uint64_t reflect_before = reflectAccesses_;
+
     if (pendingReset_ ||
         (resetInterval_ > 0 && writesSinceReset_ >= resetInterval_)) {
         out.writeU8(javatc::reset);
@@ -173,6 +210,12 @@ JavaSerializer::writeObject(Address root, ByteSink &out)
         writeRecord(obj, out);
     }
     out.writeU8(javatc::endGraph);
+
+    JavaSdMetrics &m = JavaSdMetrics::get();
+    m.objectsWritten.inc();
+    m.bytesWritten.add(out.bytesWritten() - bytes_before);
+    m.descriptorsWritten.add(descWritten_ - desc_before);
+    m.reflectiveAccesses.add(reflectAccesses_ - reflect_before);
 }
 
 Klass *
@@ -294,6 +337,18 @@ JavaSerializer::readRecord(std::uint8_t tc, ByteSource &in)
 
 Address
 JavaSerializer::readObject(ByteSource &in)
+{
+    SKYWAY_SPAN("sd.java.read");
+    std::uint64_t reflect_before = reflectAccesses_;
+    Address result = readObjectImpl(in);
+    JavaSdMetrics &m = JavaSdMetrics::get();
+    m.objectsRead.inc();
+    m.reflectiveAccesses.add(reflectAccesses_ - reflect_before);
+    return result;
+}
+
+Address
+JavaSerializer::readObjectImpl(ByteSource &in)
 {
     panicIf(in.atEnd(), "JavaSerializer: readObject past end of stream");
     std::uint8_t tc = in.readU8();

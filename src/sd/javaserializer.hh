@@ -85,6 +85,9 @@ class JavaSerializer : public Serializer
     /** Writer: one object record (dequeued from the work queue). */
     void writeRecord(Address obj, ByteSink &out);
 
+    /** readObject body; the public wrapper publishes metrics. */
+    Address readObjectImpl(ByteSource &in);
+
     /** Reader: resolve a class descriptor. */
     Klass *readClassDesc(ByteSource &in);
 

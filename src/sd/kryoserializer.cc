@@ -1,5 +1,8 @@
 #include "sd/kryoserializer.hh"
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+
 namespace skyway
 {
 
@@ -10,6 +13,26 @@ namespace
 constexpr std::uint32_t codeEndGraph = 0;
 constexpr std::uint32_t codeUnregistered = 1;
 constexpr std::uint32_t codeRegisteredBase = 2;
+
+/** Registry-backed baseline-serializer counters. */
+struct KryoSdMetrics
+{
+    obs::Counter &objectsWritten;
+    obs::Counter &bytesWritten;
+    obs::Counter &objectsRead;
+
+    static KryoSdMetrics &
+    get()
+    {
+        auto &r = obs::MetricsRegistry::global();
+        static KryoSdMetrics m{
+            r.counter("sd.kryo.objects_written"),
+            r.counter("sd.kryo.bytes_written"),
+            r.counter("sd.kryo.objects_read"),
+        };
+        return m;
+    }
+};
 
 } // namespace
 
@@ -232,6 +255,9 @@ KryoSerializer::writeRecord(Address obj, ByteSink &out)
 void
 KryoSerializer::writeObject(Address root, ByteSink &out)
 {
+    SKYWAY_SPAN("sd.kryo.write");
+    std::size_t bytes_before = out.bytesWritten();
+
     // Kryo scopes reference resolution to each top-level call.
     handleOf_.clear();
     pending_.clear();
@@ -244,6 +270,10 @@ KryoSerializer::writeObject(Address root, ByteSink &out)
         writeRecord(obj, out);
     }
     out.writeVarU32(codeEndGraph);
+
+    KryoSdMetrics &m = KryoSdMetrics::get();
+    m.objectsWritten.inc();
+    m.bytesWritten.add(out.bytesWritten() - bytes_before);
 }
 
 std::size_t
@@ -371,6 +401,9 @@ KryoSerializer::readRecord(std::uint32_t code, ByteSource &in)
 Address
 KryoSerializer::readObject(ByteSource &in)
 {
+    SKYWAY_SPAN("sd.kryo.read");
+    KryoSdMetrics::get().objectsRead.inc();
+
     handles_->clear();
     fixups_.clear();
 

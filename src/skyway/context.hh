@@ -16,6 +16,7 @@
 
 #include "heap/heap.hh"
 #include "klass/klass.hh"
+#include "obs/span.hh"
 #include "typereg/registry.hh"
 
 namespace skyway
@@ -94,6 +95,10 @@ class SkywayContext
     shuffleStart()
     {
         sid_ = (sid_ == 255) ? 1 : sid_ + 1;
+        // Phase boundary for the span tracer: spans recorded from
+        // here on aggregate under this shuffle's segment.
+        obs::SpanTracer::global().beginPhase(
+            "shuffle-" + std::to_string(sid_));
         return sid_;
     }
 

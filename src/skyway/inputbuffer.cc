@@ -4,10 +4,43 @@
 #include <cstring>
 
 #include "heap/objectops.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "skyway/baddr.hh"
 
 namespace skyway
 {
+
+namespace
+{
+
+/** Registry-backed receiver counters, resolved once per process. */
+struct ReceiverMetrics
+{
+    obs::Counter &objectsReceived;
+    obs::Counter &bytesReceived;
+    obs::Counter &chunksAllocated;
+    obs::Counter &oversizedChunks;
+    obs::Counter &refsAbsolutized;
+    obs::Counter &fieldUpdatesApplied;
+
+    static ReceiverMetrics &
+    get()
+    {
+        auto &r = obs::MetricsRegistry::global();
+        static ReceiverMetrics m{
+            r.counter("skyway.receiver.objects_received"),
+            r.counter("skyway.receiver.bytes_received"),
+            r.counter("skyway.receiver.chunks_allocated"),
+            r.counter("skyway.receiver.oversized_chunks"),
+            r.counter("skyway.receiver.refs_absolutized"),
+            r.counter("skyway.receiver.field_updates_applied"),
+        };
+        return m;
+    }
+};
+
+} // namespace
 
 InputBuffer::InputBuffer(SkywayContext &ctx, std::size_t chunk_bytes)
     : ctx_(ctx),
@@ -21,6 +54,7 @@ InputBuffer::InputBuffer(SkywayContext &ctx, std::size_t chunk_bytes)
 
 InputBuffer::~InputBuffer()
 {
+    publishMetrics();
     free();
 }
 
@@ -66,8 +100,28 @@ InputBuffer::newChunk(std::size_t at_least)
 }
 
 void
+InputBuffer::publishMetrics()
+{
+    ReceiverMetrics &m = ReceiverMetrics::get();
+    m.objectsReceived.add(stats_.objectsReceived -
+                          published_.objectsReceived);
+    m.bytesReceived.add(stats_.bytesReceived -
+                        published_.bytesReceived);
+    m.chunksAllocated.add(stats_.chunksAllocated -
+                          published_.chunksAllocated);
+    m.oversizedChunks.add(stats_.oversizedChunks -
+                          published_.oversizedChunks);
+    m.refsAbsolutized.add(stats_.refsAbsolutized -
+                          published_.refsAbsolutized);
+    m.fieldUpdatesApplied.add(stats_.fieldUpdatesApplied -
+                              published_.fieldUpdatesApplied);
+    published_ = stats_;
+}
+
+void
 InputBuffer::feed(const std::uint8_t *data, std::size_t len)
 {
+    SKYWAY_SPAN("receiver.feed");
     panicIf(finalized_, "InputBuffer: feed after finalize");
     std::size_t off = 0;
     while (off < len) {
@@ -170,6 +224,9 @@ InputBuffer::absolutizeChunk(Chunk &c)
 void
 InputBuffer::finalize()
 {
+    // The absolutization scan is the receiver's only O(bytes) CPU
+    // cost (paper section 4.3); its time is the span to watch.
+    SKYWAY_SPAN("receiver.absolutize");
     panicIf(finalized_, "InputBuffer: finalize called twice");
     for (Chunk &c : chunks_)
         absolutizeChunk(c);
@@ -196,6 +253,7 @@ InputBuffer::finalize()
         heap_.makePinWalkable(c.pin);
     }
     finalized_ = true;
+    publishMetrics();
 }
 
 const std::vector<Address> &

@@ -36,7 +36,11 @@ namespace skyway
 /** Default input-buffer chunk size (user-tunable per the paper). */
 constexpr std::size_t defaultInputChunkBytes = 256 << 10;
 
-/** Receiver-side statistics. */
+/**
+ * Receiver-side statistics. Legacy per-buffer accessor: the same
+ * quantities are published process-wide as `skyway.receiver.*`
+ * metrics (docs/OBSERVABILITY.md).
+ */
 struct SkywayReceiveStats
 {
     std::uint64_t objectsReceived = 0;
@@ -115,6 +119,14 @@ class InputBuffer
     void newChunk(std::size_t at_least);
     void absolutizeChunk(Chunk &c);
 
+    /**
+     * Push the delta of stats_ since the last publication into the
+     * `skyway.receiver.*` counters. Runs at buffer boundaries —
+     * finalize() and destruction — never per feed() or per record,
+     * keeping the receive hot path free of atomics.
+     */
+    void publishMetrics();
+
     SkywayContext &ctx_;
     ManagedHeap &heap_;
     std::size_t chunkBytes_;
@@ -142,6 +154,8 @@ class InputBuffer
     /** Dense tid -> klass cache (global ids are small and dense). */
     mutable std::vector<Klass *> tidCache_;
     SkywayReceiveStats stats_;
+    /** Values of stats_ as of the last publishMetrics(). */
+    SkywayReceiveStats published_;
 };
 
 } // namespace skyway

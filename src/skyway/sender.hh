@@ -29,7 +29,12 @@
 namespace skyway
 {
 
-/** Sender-side statistics (tests and the byte-composition bench). */
+/**
+ * Sender-side statistics (tests and the byte-composition bench).
+ * Legacy per-stream accessor: the same quantities are published
+ * process-wide as `skyway.sender.*` metrics (docs/OBSERVABILITY.md);
+ * this struct remains as the thin per-stream compatibility view.
+ */
 struct SkywaySendStats
 {
     std::uint64_t objectsCopied = 0;
@@ -64,11 +69,22 @@ class SkywaySender
     SkywaySender(SkywayContext &ctx, OutputBuffer &ob,
                  ObjectFormat target_format);
 
+    ~SkywaySender() { publishMetrics(); }
+
     /** Copy the graph rooted at @p root into the buffer. */
     void writeObject(Address root);
 
     std::uint16_t streamId() const { return tid_; }
     const SkywaySendStats &stats() const { return stats_; }
+
+    /**
+     * Push the delta of stats_ since the last publication into the
+     * process-wide `skyway.sender.*` counters. Runs at stream
+     * boundaries — flush/endStream and destruction, never per
+     * writeObject, let alone per object — so the transfer hot path
+     * stays free of atomics (the ≤2% budget, docs/OBSERVABILITY.md).
+     */
+    void publishMetrics();
 
   private:
     struct GrayItem
@@ -119,6 +135,8 @@ class SkywaySender
     std::unordered_map<Address, std::uint64_t> fallback_;
 
     SkywaySendStats stats_;
+    /** Values of stats_ as of the last publishMetrics(). */
+    SkywaySendStats published_;
 };
 
 } // namespace skyway

@@ -151,6 +151,7 @@ SkywaySerializer::endStream(ByteSink &out)
     panicIf(curSink_ != &out,
             "SkywaySerializer: endStream on a different sink");
     outBuf_->flushNow();
+    sender_->publishMetrics();
     out.writeU32(0);
     // Fold this stream's stats into the running totals.
     const SkywaySendStats &s = sender_->stats();

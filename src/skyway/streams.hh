@@ -48,8 +48,13 @@ class SkywayObjectOutputStream
     /** Transfer the graph rooted at @p root, as writeObject(o). */
     void writeObject(Address root) { sender_.writeObject(root); }
 
-    /** Push buffered bytes to the sink. */
-    void flush() { buffer_.flushNow(); }
+    /** Push buffered bytes to the sink (and publish sender metrics). */
+    void
+    flush()
+    {
+        buffer_.flushNow();
+        sender_.publishMetrics();
+    }
 
     std::uint64_t totalBytes() const { return buffer_.totalBytes(); }
     const SkywaySendStats &stats() const { return sender_.stats(); }

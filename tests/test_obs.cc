@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Tests for the observability subsystem (src/obs): lock-free
+ * counters/gauges/histograms under concurrency, bucket boundary
+ * placement, snapshot deltas, the JSON writer/validator pair, the
+ * span tracer's phase segmentation, and agreement between the
+ * registry-backed `skyway.sender.*` metrics and the legacy per-stream
+ * SkywaySendStats on a known object graph.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "skyway/streams.hh"
+#include "testclasses.hh"
+
+namespace skyway
+{
+namespace
+{
+
+using testing_support::makeList;
+using testing_support::makeTestCatalog;
+
+std::int64_t
+scalarOf(const obs::MetricsSnapshot &s, const std::string &name)
+{
+    for (const auto &[k, v] : s.scalars)
+        if (k == name)
+            return v;
+    return -1;
+}
+
+TEST(ObsMetrics, CounterConcurrentAdds)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter &c = reg.counter("test.hits");
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 100000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&c] {
+            for (int i = 0; i < kPerThread; ++i)
+                c.inc();
+        });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(),
+              std::uint64_t{kThreads} * kPerThread);
+}
+
+TEST(ObsMetrics, CounterReferenceIsStable)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter &a = reg.counter("test.stable");
+    // Registering many other names must not move the first counter.
+    for (int i = 0; i < 100; ++i)
+        reg.counter("test.filler." + std::to_string(i));
+    obs::Counter &b = reg.counter("test.stable");
+    EXPECT_EQ(&a, &b);
+    a.add(7);
+    EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(ObsMetrics, GaugeMovesBothWays)
+{
+    obs::MetricsRegistry reg;
+    obs::Gauge &g = reg.gauge("test.level");
+    g.set(10);
+    g.add(-25);
+    EXPECT_EQ(g.value(), -15);
+}
+
+TEST(ObsMetrics, HistogramBucketBoundaries)
+{
+    obs::MetricsRegistry reg;
+    obs::Histogram &h = reg.histogram("test.lat", {10, 100, 1000});
+    // Bucket i counts samples <= bounds[i]; boundary values land in
+    // their own bucket, one past the boundary in the next.
+    h.record(0);
+    h.record(10);   // bucket 0 (<= 10)
+    h.record(11);   // bucket 1
+    h.record(100);  // bucket 1 (<= 100)
+    h.record(101);  // bucket 2
+    h.record(1000); // bucket 2 (<= 1000)
+    h.record(1001); // overflow
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(2), 2u);
+    EXPECT_EQ(h.bucketCount(3), 1u); // overflow slot
+    EXPECT_EQ(h.count(), 7u);
+    EXPECT_EQ(h.sum(), 0u + 10 + 11 + 100 + 101 + 1000 + 1001);
+    EXPECT_EQ(h.max(), 1001u);
+}
+
+TEST(ObsMetrics, HistogramConcurrentRecords)
+{
+    obs::MetricsRegistry reg;
+    obs::Histogram &h = reg.histogram("test.conc", {50});
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 50000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&h, t] {
+            // Thread t records the constant t*40: threads 0/1 fall in
+            // bucket 0 (<= 50), threads 2/3 overflow.
+            for (int i = 0; i < kPerThread; ++i)
+                h.record(static_cast<std::uint64_t>(t) * 40);
+        });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(h.count(), std::uint64_t{kThreads} * kPerThread);
+    EXPECT_EQ(h.bucketCount(0), 2u * kPerThread);
+    EXPECT_EQ(h.bucketCount(1), 2u * kPerThread);
+    EXPECT_EQ(h.max(), 120u);
+}
+
+TEST(ObsMetrics, ExponentialBounds)
+{
+    auto b = obs::exponentialBounds(64, 4.0, 4);
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_EQ(b[0], 64u);
+    EXPECT_EQ(b[1], 256u);
+    EXPECT_EQ(b[2], 1024u);
+    EXPECT_EQ(b[3], 4096u);
+}
+
+TEST(ObsMetrics, SnapshotDelta)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("test.a").add(5);
+    obs::MetricsSnapshot before = reg.snapshot();
+    reg.counter("test.a").add(3);
+    reg.counter("test.late").add(9); // registered after `before`
+    obs::MetricsSnapshot delta = reg.snapshot().deltaSince(before);
+    EXPECT_EQ(scalarOf(delta, "test.a"), 3);
+    EXPECT_EQ(scalarOf(delta, "test.late"), 9);
+}
+
+TEST(ObsMetrics, RegistryJsonValidates)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("test.c").add(2);
+    reg.gauge("test.g").set(-4);
+    reg.histogram("test.h", {10, 100}).record(42);
+    std::string doc = reg.toJson();
+    std::string err;
+    EXPECT_TRUE(obs::jsonValidate(doc, err)) << err << "\n" << doc;
+    EXPECT_NE(doc.find("\"test.c\":2"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"test.g\":-4"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"+Inf\""), std::string::npos) << doc;
+}
+
+TEST(ObsJson, WriterRoundTrip)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("s").value(std::string_view("quote \" slash \\ tab \t"));
+    w.key("n").value(std::int64_t{-12});
+    w.key("d").value(0.25);
+    w.key("b").value(true);
+    w.key("nil").null();
+    w.key("arr");
+    w.beginArray();
+    w.value(std::uint64_t{1});
+    w.value(std::uint64_t{2});
+    w.endArray();
+    w.endObject();
+    std::string doc = std::move(w).str();
+    std::string err;
+    EXPECT_TRUE(obs::jsonValidate(doc, err)) << err << "\n" << doc;
+    EXPECT_NE(doc.find("\\\""), std::string::npos);
+    EXPECT_NE(doc.find("\\t"), std::string::npos);
+}
+
+TEST(ObsJson, ValidatorRejectsMalformed)
+{
+    std::string err;
+    EXPECT_FALSE(obs::jsonValidate("", err));
+    EXPECT_FALSE(obs::jsonValidate("{", err));
+    EXPECT_FALSE(obs::jsonValidate("{]", err));
+    EXPECT_FALSE(obs::jsonValidate("{\"a\":}", err));
+    EXPECT_FALSE(obs::jsonValidate("tru", err));
+    EXPECT_FALSE(obs::jsonValidate("1.2.3", err));
+    EXPECT_FALSE(obs::jsonValidate("{} trailing", err));
+    EXPECT_FALSE(obs::jsonValidate("\"unterminated", err));
+    EXPECT_TRUE(obs::jsonValidate("{\"a\":[1,2,{\"b\":null}]}", err))
+        << err;
+}
+
+TEST(ObsSpan, ScopedSpanRecords)
+{
+    obs::SpanStats stats;
+    {
+        obs::ScopedSpan s1(stats);
+        obs::ScopedSpan s2(stats);
+    }
+    EXPECT_EQ(stats.count(), 2u);
+    EXPECT_GT(stats.totalNs(), 0u);
+    EXPECT_GE(stats.totalNs(), stats.maxNs());
+}
+
+TEST(ObsSpan, TracerPhasesAndJson)
+{
+    obs::SpanTracer &tracer = obs::SpanTracer::global();
+    obs::SpanStats &stats = tracer.span("test.phase_span");
+    std::uint64_t before = stats.count();
+    {
+        obs::ScopedSpan s(stats);
+    }
+    tracer.beginPhase("test-phase-boundary");
+    EXPECT_EQ(stats.count(), before + 1);
+    std::string doc = tracer.toJson();
+    std::string err;
+    EXPECT_TRUE(obs::jsonValidate(doc, err)) << err << "\n" << doc;
+    EXPECT_NE(doc.find("test.phase_span"), std::string::npos) << doc;
+}
+
+TEST(ObsSender, RegistryMatchesLegacyStats)
+{
+    ClassCatalog catalog = makeTestCatalog();
+    ClusterNetwork net(2);
+    Jvm a(catalog, net, 0, 0);
+    Jvm b(catalog, net, 1, 0);
+    LocalRoots roots(a.heap());
+    Address root = makeList(a, roots, 100);
+
+    obs::MetricsSnapshot before =
+        obs::MetricsRegistry::global().snapshot();
+
+    a.skyway().shuffleStart();
+    SkywayObjectInputStream in(b.skyway(), 64 << 10);
+    SkywayObjectOutputStream out(
+        a.skyway(),
+        [&in](const std::uint8_t *d, std::size_t n) {
+            in.feed(d, n);
+        });
+    out.writeObject(root);
+    out.flush();
+    in.finish();
+
+    SkywaySendStats legacy = out.stats();
+    obs::MetricsSnapshot delta =
+        obs::MetricsRegistry::global().snapshot().deltaSince(before);
+
+    EXPECT_GT(legacy.objectsCopied, 0u);
+    EXPECT_EQ(scalarOf(delta, "skyway.sender.objects_copied"),
+              static_cast<std::int64_t>(legacy.objectsCopied));
+    EXPECT_EQ(scalarOf(delta, "skyway.sender.bytes_copied"),
+              static_cast<std::int64_t>(legacy.bytesCopied));
+    EXPECT_EQ(scalarOf(delta, "skyway.sender.top_marks"),
+              static_cast<std::int64_t>(legacy.topMarks));
+    EXPECT_EQ(scalarOf(delta, "skyway.sender.back_refs"),
+              static_cast<std::int64_t>(legacy.backRefs));
+    EXPECT_EQ(scalarOf(delta, "skyway.sender.header_bytes"),
+              static_cast<std::int64_t>(legacy.headerBytes));
+    EXPECT_EQ(scalarOf(delta, "skyway.sender.pointer_bytes"),
+              static_cast<std::int64_t>(legacy.pointerBytes));
+    EXPECT_EQ(scalarOf(delta, "skyway.sender.padding_bytes"),
+              static_cast<std::int64_t>(legacy.paddingBytes));
+    EXPECT_EQ(scalarOf(delta, "skyway.sender.data_bytes"),
+              static_cast<std::int64_t>(legacy.dataBytes));
+
+    // The receiver side published too: every copied object arrived.
+    EXPECT_EQ(scalarOf(delta, "skyway.receiver.objects_received"),
+              static_cast<std::int64_t>(legacy.objectsCopied));
+
+    auto buf = in.releaseBuffer();
+    ASSERT_NE(buf->roots().at(0), nullAddr);
+    buf->free();
+}
+
+} // namespace
+} // namespace skyway
