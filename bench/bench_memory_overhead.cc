@@ -10,6 +10,8 @@
  */
 
 #include "bench/benchutil.hh"
+#include "obs/metrics.hh"
+#include "support/logging.hh"
 #include "workloads/graphgen.hh"
 
 using namespace skyway;
@@ -21,6 +23,12 @@ std::uint64_t
 peakFor(const ClassCatalog &cat, bool baddr, const std::string &app,
         const EdgeList &g, const std::vector<std::string> &text)
 {
+    // Peak occupancy is read from the registry's
+    // `skyway.heap.peak_bytes` gauge as a delta over the run: the
+    // cluster's heaps are created inside this scope, so the delta is
+    // exactly their peak contribution (driver included — identical in
+    // both layouts, so the comparison is unaffected).
+    obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
     bench::SparkSetup setup = bench::makeSparkSetup("kryo");
     SparkConfig cfg;
     cfg.workerHeap.format.hasBaddr = baddr;
@@ -33,12 +41,15 @@ peakFor(const ClassCatalog &cat, bool baddr, const std::string &app,
         runPageRank(*cluster, g, 5);
     else
         runTriangleCount(*cluster, g);
-    std::uint64_t peak = 0;
-    for (int w = 0; w < cluster->numWorkers(); ++w) {
+    for (int w = 0; w < cluster->numWorkers(); ++w)
         cluster->worker(w).heap().notePeak();
-        peak += cluster->worker(w).heap().stats().peakUsedBytes;
-    }
-    return peak;
+    obs::MetricsSnapshot delta =
+        obs::MetricsRegistry::global().snapshot().deltaSince(before);
+    for (const auto &[name, value] : delta.scalars)
+        if (name == "skyway.heap.peak_bytes")
+            return static_cast<std::uint64_t>(value);
+    panic("bench_memory_overhead: skyway.heap.peak_bytes not "
+          "published");
 }
 
 } // namespace

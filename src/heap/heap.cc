@@ -2,10 +2,38 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
 #include "support/rng.hh"
 
 namespace skyway
 {
+
+namespace
+{
+
+/**
+ * Process-wide heap-occupancy gauges, resolved once. They aggregate
+ * across every ManagedHeap in the process (a simulated cluster), so
+ * each heap publishes *deltas* against what it last reported.
+ */
+struct HeapGauges
+{
+    obs::Gauge &inUse;
+    obs::Gauge &peak;
+
+    static HeapGauges &
+    get()
+    {
+        auto &r = obs::MetricsRegistry::global();
+        static HeapGauges g{
+            r.gauge("skyway.heap.in_use_bytes"),
+            r.gauge("skyway.heap.peak_bytes"),
+        };
+        return g;
+    }
+};
+
+} // namespace
 
 ManagedHeap::ManagedHeap(const HeapConfig &config) : config_(config)
 {
@@ -111,6 +139,9 @@ ManagedHeap::allocateOldRaw(std::size_t bytes, bool zero)
     if (zero)
         std::memset(reinterpret_cast<void *>(a), 0, bytes);
     stats_.bytesAllocated += bytes;
+    // Tenured allocations (input-buffer chunks) move the occupancy
+    // level in coarse steps — cheap enough to publish right away.
+    publishOccupancy();
     return a;
 }
 
@@ -306,6 +337,31 @@ ManagedHeap::notePeak()
 {
     stats_.peakUsedBytes = std::max(stats_.peakUsedBytes,
                                     static_cast<std::uint64_t>(usedBytes()));
+    publishOccupancy();
+}
+
+void
+ManagedHeap::publishOccupancy()
+{
+    HeapGauges &g = HeapGauges::get();
+    std::uint64_t used = usedBytes();
+    g.inUse.add(static_cast<std::int64_t>(used) -
+                static_cast<std::int64_t>(publishedInUseBytes_));
+    publishedInUseBytes_ = used;
+    if (stats_.peakUsedBytes > publishedPeakBytes_) {
+        g.peak.add(static_cast<std::int64_t>(stats_.peakUsedBytes -
+                                             publishedPeakBytes_));
+        publishedPeakBytes_ = stats_.peakUsedBytes;
+    }
+}
+
+ManagedHeap::~ManagedHeap()
+{
+    // A destroyed node's bytes leave the cluster-wide level; its peak
+    // contribution is a high-water mark and stays.
+    HeapGauges::get().inUse.add(
+        -static_cast<std::int64_t>(publishedInUseBytes_));
+    publishedInUseBytes_ = 0;
 }
 
 } // namespace skyway

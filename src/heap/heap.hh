@@ -375,7 +375,21 @@ class ManagedHeap
     /** Record current usage into the peak statistic. */
     void notePeak();
 
+    /** Publishes the occupancy gauges one last time (level drops). */
+    ~ManagedHeap();
+
   private:
+    /**
+     * Push this heap's occupancy into the process-wide
+     * `skyway.heap.in_use_bytes` / `skyway.heap.peak_bytes` gauges
+     * (docs/OBSERVABILITY.md): delta-published at allocation and GC
+     * boundaries, never per object.
+     */
+    void publishOccupancy();
+
+    std::uint64_t publishedInUseBytes_ = 0;
+    std::uint64_t publishedPeakBytes_ = 0;
+
     static constexpr Word fillerMagic = 0xf111f111f111f111ull;
     static constexpr Word fillerMagicOneWord = 0xf111f111f111f112ull;
 

@@ -88,10 +88,14 @@ ObjectBuilder::stringHash(Address str)
     Address chars = field::getRef(heap_, str, k->requireField("value"));
     std::size_t n = static_cast<std::size_t>(heap_.arrayLength(chars));
     const Klass *ck = heap_.klassOf(chars);
+    // Java's h*31+c relies on wrapping int arithmetic; accumulate in
+    // unsigned (wrapping is defined) and cast back to the same bits.
+    std::uint32_t uh = static_cast<std::uint32_t>(h);
     for (std::size_t i = 0; i < n; ++i) {
-        h = 31 * h + heap_.load<std::uint16_t>(
-                         chars, heap_.arrayElemOffset(ck, i));
+        uh = 31u * uh + heap_.load<std::uint16_t>(
+                            chars, heap_.arrayElemOffset(ck, i));
     }
+    h = static_cast<std::int32_t>(uh);
     field::set<std::int32_t>(heap_, str, hf, h);
     return h;
 }

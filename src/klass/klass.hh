@@ -8,6 +8,7 @@
 #ifndef SKYWAY_KLASS_KLASS_HH
 #define SKYWAY_KLASS_KLASS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -98,10 +99,24 @@ class Klass
     const FieldDesc &requireField(const std::string &name) const;
 
     /** Globally assigned Skyway type ID, or unregisteredTid. */
-    std::int32_t tid() const { return tid_; }
+    std::int32_t
+    tid() const
+    {
+        return tid_.load(std::memory_order_relaxed);
+    }
 
-    /** Install the driver-assigned type ID (paper Algorithm 1 line 35). */
-    void setTid(std::int32_t tid) { tid_ = tid; }
+    /**
+     * Install the driver-assigned type ID (paper Algorithm 1 line 35).
+     * The word is atomic because concurrent sender threads race the
+     * first publication of a class's id (SkywayContext::tidFor); every
+     * writer stores the same driver-assigned value, so relaxed order
+     * suffices.
+     */
+    void
+    setTid(std::int32_t tid)
+    {
+        tid_.store(tid, std::memory_order_relaxed);
+    }
 
     /** Number of super classes up to the root (for descriptor tests). */
     int superChainLength() const;
@@ -123,7 +138,7 @@ class Klass
     std::vector<std::uint32_t> refOffsets_;
     std::size_t primDataBytes_ = 0;
     std::unordered_map<std::string, std::uint32_t> fieldIndex_;
-    std::int32_t tid_ = unregisteredTid;
+    std::atomic<std::int32_t> tid_{unregisteredTid};
 };
 
 /**

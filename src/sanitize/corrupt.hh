@@ -1,0 +1,77 @@
+/**
+ * @file
+ * SkywaySan corruption-injection harness (docs/SANITIZER.md).
+ *
+ * Proves the wire-format validator actually rejects what it claims
+ * to: each CorruptionKind mutates one well-aimed aspect of a valid
+ * stream (using the WireIndex byte map), and expectedFaults() names
+ * the diagnostic categories the validator may legitimately report for
+ * it. tests/test_sanitize.cc loops kinds x random seeds and asserts
+ * the first diagnostic is in the expected set — a corruption that
+ * validates clean, or that is rejected for the wrong reason, fails
+ * the suite.
+ */
+
+#ifndef SKYWAY_SANITIZE_CORRUPT_HH
+#define SKYWAY_SANITIZE_CORRUPT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sanitize/wirecheck.hh"
+#include "support/rng.hh"
+
+namespace skyway
+{
+namespace sanitize
+{
+
+/** One class of stream corruption the validator must reject. */
+enum class CorruptionKind
+{
+    /** Klass word rewritten to an id no registry ever assigned. */
+    ForgedTypeId,
+    /** A reference slot re-aimed off every object start. */
+    DanglingOffset,
+    /** Stream cut mid-record. */
+    Truncation,
+    /** A second top mark inserted before a root's record. */
+    DuplicatedTopMark,
+    /** Machine-local mark bits (lock/GC/age) left set on the wire. */
+    ClobberedMark,
+    /** A stale sender claim left in the baddr word. */
+    StaleBaddr,
+    /** Reserved marker bits set on a word that is no marker. */
+    BogusMarker,
+    /** One random bit flipped in a header word. */
+    HeaderBitFlip,
+};
+
+const char *corruptionKindName(CorruptionKind kind);
+
+/** Every kind, for parameterized tests. */
+const std::vector<CorruptionKind> &allCorruptionKinds();
+
+/**
+ * Validate @p stream (panics if it is not clean — the harness only
+ * corrupts known-good streams) and return its byte map.
+ */
+WireIndex indexStream(TypeResolver &resolver, const WireCheckConfig &cfg,
+                      const std::vector<std::uint8_t> &stream);
+
+/**
+ * Return a corrupted copy of @p stream. Panics when the stream has no
+ * site for @p kind (e.g. DanglingOffset on a reference-free stream);
+ * callers pick graphs that exercise every kind.
+ */
+std::vector<std::uint8_t> injectCorruption(
+    const WireIndex &index, const WireCheckConfig &cfg,
+    std::vector<std::uint8_t> stream, CorruptionKind kind, Rng &rng);
+
+/** Diagnostic categories the validator may report for @p kind. */
+const std::vector<WireFault> &expectedFaults(CorruptionKind kind);
+
+} // namespace sanitize
+} // namespace skyway
+
+#endif // SKYWAY_SANITIZE_CORRUPT_HH

@@ -1,0 +1,162 @@
+#include "sanitize/graphcheck.hh"
+
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+
+#include "heap/objectops.hh"
+#include "klass/klass.hh"
+
+namespace skyway
+{
+namespace sanitize
+{
+
+namespace
+{
+
+const std::uint8_t *
+raw(Address a, std::size_t off)
+{
+    return reinterpret_cast<const std::uint8_t *>(a + off);
+}
+
+std::string
+at(const Klass *k, const std::string &where)
+{
+    return k->name() + "." + where;
+}
+
+} // namespace
+
+GraphCheckResult
+checkHeapGraphs(const ManagedHeap &ha, Address a, const ManagedHeap &hb,
+                Address b, bool require_hash)
+{
+    GraphCheckResult r;
+    auto fail = [&](std::string why) -> GraphCheckResult & {
+        r.equal = false;
+        r.divergence = std::move(why);
+        return r;
+    };
+
+    struct Pair
+    {
+        Address a, b;
+    };
+    std::deque<Pair> work;
+    // The correspondence must be a bijection: aliasing (sharing,
+    // cycles) on one side must be mirrored exactly on the other.
+    std::unordered_map<Address, Address> aToB, bToA;
+
+    auto enqueue = [&](Address ca, Address cb,
+                       const std::string &via) -> bool {
+        if (ca == nullAddr && cb == nullAddr)
+            return true;
+        if (ca == nullAddr || cb == nullAddr) {
+            fail("null vs non-null reference at " + via);
+            return false;
+        }
+        auto ia = aToB.find(ca);
+        auto ib = bToA.find(cb);
+        if (ia != aToB.end() || ib != bToA.end()) {
+            if (ia == aToB.end() || ib == bToA.end() ||
+                ia->second != cb || ib->second != ca) {
+                fail("aliasing differs at " + via +
+                     ": the correspondence is not a bijection");
+                return false;
+            }
+            return true;
+        }
+        aToB.emplace(ca, cb);
+        bToA.emplace(cb, ca);
+        work.push_back(Pair{ca, cb});
+        return true;
+    };
+
+    if (!enqueue(a, b, "<root>"))
+        return r;
+
+    while (!work.empty()) {
+        Pair p = work.front();
+        work.pop_front();
+        ++r.objectsCompared;
+
+        const Klass *ka = ha.klassOf(p.a);
+        const Klass *kb = hb.klassOf(p.b);
+        if (ka->name() != kb->name())
+            return fail("class mismatch: " + ka->name() + " vs " +
+                        kb->name());
+
+        if (require_hash) {
+            Word ma = ha.markOf(p.a);
+            Word mb = hb.markOf(p.b);
+            if (mark::hasHash(ma) != mark::hasHash(mb))
+                return fail(at(ka, "<hash>") +
+                            ": cached hashcode present on one side "
+                            "only");
+            if (mark::hasHash(ma) &&
+                mark::hashOf(ma) != mark::hashOf(mb))
+                return fail(at(ka, "<hash>") + ": " +
+                            std::to_string(mark::hashOf(ma)) + " vs " +
+                            std::to_string(mark::hashOf(mb)));
+        }
+
+        if (ka->isArray()) {
+            auto na = static_cast<std::uint64_t>(ha.arrayLength(p.a));
+            auto nb = static_cast<std::uint64_t>(hb.arrayLength(p.b));
+            if (na != nb)
+                return fail(at(ka, "<length>") + ": " +
+                            std::to_string(na) + " vs " +
+                            std::to_string(nb));
+            if (ka->elemType() == FieldType::Ref) {
+                for (std::uint64_t i = 0; i < na; ++i) {
+                    Address ca = array::getRef(ha, p.a, i);
+                    Address cb = array::getRef(hb, p.b, i);
+                    if (!enqueue(ca, cb,
+                                 at(ka, "[" + std::to_string(i) + "]")))
+                        return r;
+                }
+            } else {
+                std::size_t bytes =
+                    static_cast<std::size_t>(na) * ka->elemSize();
+                if (bytes != 0 &&
+                    std::memcmp(
+                        raw(p.a, ha.format().arrayHeaderBytes()),
+                        raw(p.b, hb.format().arrayHeaderBytes()),
+                        bytes) != 0)
+                    return fail(at(ka, "<elements>") +
+                                ": primitive payload differs");
+            }
+            continue;
+        }
+
+        // Instance: fields are in identical layout order on both
+        // sides (same catalog), but offsets may differ when the
+        // formats do — compare through each side's own FieldDesc.
+        const auto &fa = ka->fields();
+        const auto &fb = kb->fields();
+        if (fa.size() != fb.size())
+            return fail(at(ka, "<fields>") + ": field count differs");
+        for (std::size_t i = 0; i < fa.size(); ++i) {
+            if (fa[i].name != fb[i].name || fa[i].type != fb[i].type)
+                return fail(at(ka, fa[i].name) +
+                            ": field layout differs");
+            if (fa[i].type == FieldType::Ref) {
+                if (!enqueue(ha.loadRef(p.a, fa[i].offset),
+                             hb.loadRef(p.b, fb[i].offset),
+                             at(ka, fa[i].name)))
+                    return r;
+            } else if (std::memcmp(raw(p.a, fa[i].offset),
+                                   raw(p.b, fb[i].offset),
+                                   fieldSize(fa[i].type)) != 0) {
+                return fail(at(ka, fa[i].name) +
+                            ": primitive value differs");
+            }
+        }
+    }
+    return r;
+}
+
+} // namespace sanitize
+} // namespace skyway

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * SkywaySan heap-graph isomorphism checker (docs/SANITIZER.md).
+ *
+ * Walks the sender-side root graph and the receiver-side rebuilt
+ * graph in lockstep and proves they are isomorphic: same shape (the
+ * correspondence between objects is a bijection, so sharing and
+ * cycles are preserved exactly), same classes, same array lengths,
+ * same primitive field and element values, and — the paper section
+ * 3.1 guarantee — the same cached identity hashcodes. Unlike
+ * graphsEqual (heap/objectops.hh) it reports *where* the graphs
+ * diverge, which is what a validator is for.
+ *
+ * The two heaps may use different object formats (heterogeneous
+ * clusters): fields are matched by layout position via each side's
+ * own klass, never by raw offset.
+ */
+
+#ifndef SKYWAY_SANITIZE_GRAPHCHECK_HH
+#define SKYWAY_SANITIZE_GRAPHCHECK_HH
+
+#include <cstddef>
+#include <string>
+
+#include "heap/heap.hh"
+
+namespace skyway
+{
+namespace sanitize
+{
+
+struct GraphCheckResult
+{
+    bool equal = true;
+    /** First divergence, human-readable; empty when equal. */
+    std::string divergence;
+    /** Distinct object pairs compared. */
+    std::size_t objectsCompared = 0;
+};
+
+/**
+ * Prove the graphs rooted at @p a (in @p ha) and @p b (in @p hb)
+ * isomorphic. @p require_hash additionally demands that cached
+ * identity hashcodes match pairwise (on by default: Skyway transfers
+ * preserve them structurally).
+ */
+GraphCheckResult checkHeapGraphs(const ManagedHeap &ha, Address a,
+                                 const ManagedHeap &hb, Address b,
+                                 bool require_hash = true);
+
+} // namespace sanitize
+} // namespace skyway
+
+#endif // SKYWAY_SANITIZE_GRAPHCHECK_HH

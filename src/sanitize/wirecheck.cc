@@ -1,0 +1,332 @@
+#include "sanitize/wirecheck.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "klass/klass.hh"
+#include "skyway/baddr.hh"
+#include "support/logging.hh"
+#include "typereg/registry.hh"
+
+namespace skyway
+{
+namespace sanitize
+{
+
+namespace
+{
+
+Word
+wordAt(const std::uint8_t *p)
+{
+    Word w;
+    std::memcpy(&w, p, wordSize);
+    return w;
+}
+
+/** An array length past this is corruption, not data (2^40 elements
+ *  would overflow the 40-bit relative address space by itself). */
+constexpr std::uint64_t maxPlausibleArrayLength = 1ull << 40;
+
+} // namespace
+
+const char *
+wireFaultName(WireFault f)
+{
+    switch (f) {
+    case WireFault::UnknownMarker:
+        return "unknown-marker";
+    case WireFault::UnresolvableTypeId:
+        return "unresolvable-type-id";
+    case WireFault::TruncatedRecord:
+        return "truncated-record";
+    case WireFault::MisalignedRecord:
+        return "misaligned-record";
+    case WireFault::DanglingReference:
+        return "dangling-reference";
+    case WireFault::BadMarkWord:
+        return "bad-mark-word";
+    case WireFault::BadBaddrWord:
+        return "bad-baddr-word";
+    case WireFault::BadRootRecord:
+        return "bad-root-record";
+    }
+    return "?";
+}
+
+std::string
+WireDiagnostic::str() const
+{
+    return std::string(wireFaultName(fault)) + " @+" +
+           std::to_string(offset) + ": " + detail;
+}
+
+WireValidator::WireValidator(TypeResolver &resolver, WireCheckConfig cfg)
+    : resolver_(resolver), cfg_(cfg)
+{
+}
+
+void
+WireValidator::report(WireFault f, std::uint64_t off, std::string detail)
+{
+    if (diags_.size() < cfg_.maxDiagnostics)
+        diags_.push_back(WireDiagnostic{f, off, std::move(detail)});
+}
+
+bool
+WireValidator::isRecordStart(std::uint64_t logical) const
+{
+    return std::binary_search(recordStarts_.begin(), recordStarts_.end(),
+                              logical);
+}
+
+Klass *
+WireValidator::resolveTid(std::int32_t tid)
+{
+    if (tid < 0)
+        return nullptr;
+    auto idx = static_cast<std::size_t>(tid);
+    if (idx < tidCache_.size() && tidCache_[idx])
+        return tidCache_[idx];
+    Klass *k = resolver_.tryKlassForId(tid);
+    if (!k)
+        return nullptr;
+    if (idx >= tidCache_.size())
+        tidCache_.resize(idx + 1, nullptr);
+    tidCache_[idx] = k;
+    return k;
+}
+
+std::size_t
+WireValidator::scanRecord(const std::uint8_t *rec, std::size_t remaining,
+                          std::uint64_t phys_off)
+{
+    const ObjectFormat &wf = cfg_.wireFormat;
+
+    if (remaining < wf.headerBytes()) {
+        report(WireFault::TruncatedRecord, phys_off,
+               "segment ends inside a record header (" +
+                   std::to_string(remaining) + " of " +
+                   std::to_string(wf.headerBytes()) + " header bytes)");
+        return 0;
+    }
+
+    // Mark word: only the cached hashcode survives transfer
+    // (mark::resetForTransfer); anything else is machine-local state
+    // that must not be on the wire.
+    Word m = wordAt(rec + offsetMark);
+    if ((m & ~(mark::hashMask | mark::hashComputedBit)) != 0)
+        report(WireFault::BadMarkWord, phys_off + offsetMark,
+               "mark word carries non-transfer bits (lock/GC/age or "
+               "reserved)");
+    else if (!mark::hasHash(m) && (m & mark::hashMask) != 0)
+        report(WireFault::BadMarkWord, phys_off + offsetMark,
+               "hash bits present without the hash-computed flag");
+
+    // Klass word: a wire type id, which must resolve in the registry.
+    Word tid_word = wordAt(rec + offsetKlass);
+    if (tid_word > 0x7fffffffull) {
+        report(WireFault::UnresolvableTypeId, phys_off + offsetKlass,
+               "klass word " + std::to_string(tid_word) +
+                   " is not a type id");
+        return 0;
+    }
+    Klass *k = resolveTid(static_cast<std::int32_t>(tid_word));
+    if (!k) {
+        report(WireFault::UnresolvableTypeId, phys_off + offsetKlass,
+               "type id " + std::to_string(tid_word) +
+                   " is not in the registry");
+        return 0;
+    }
+
+    // Baddr word: the sender's claim state never leaves the machine.
+    if (wf.hasBaddr) {
+        Word b = wordAt(rec + offsetBaddr);
+        if (b != 0)
+            report(WireFault::BadBaddrWord, phys_off + offsetBaddr,
+                   "baddr not cleared on the wire (sid=" +
+                       std::to_string(baddr::sidOf(b)) + " tid=" +
+                       std::to_string(baddr::tidOf(b)) + " rel=" +
+                       std::to_string(baddr::relOf(b)) + ")");
+    }
+
+    // Size from the klass layout. A heterogeneous-format sender has
+    // already rewritten the record into the wire format, so instance
+    // sizes shift by the header delta and arrays are computed directly
+    // against the wire geometry.
+    std::ptrdiff_t delta =
+        static_cast<std::ptrdiff_t>(k->format().headerBytes()) -
+        static_cast<std::ptrdiff_t>(wf.headerBytes());
+    std::size_t size = 0;
+    std::uint64_t array_len = 0;
+    if (k->isArray()) {
+        if (remaining < wf.arrayHeaderBytes()) {
+            report(WireFault::TruncatedRecord, phys_off,
+                   "segment ends inside an array header");
+            return 0;
+        }
+        array_len = wordAt(rec + wf.arrayLengthOffset());
+        if (array_len > maxPlausibleArrayLength) {
+            report(WireFault::MisalignedRecord,
+                   phys_off + wf.arrayLengthOffset(),
+                   "implausible array length " +
+                       std::to_string(array_len) + " for " + k->name());
+            return 0;
+        }
+        size = wordAlign(wf.arrayHeaderBytes() +
+                         static_cast<std::size_t>(array_len) *
+                             k->elemSize());
+    } else {
+        size = static_cast<std::size_t>(
+            static_cast<std::ptrdiff_t>(k->instanceBytes()) - delta);
+    }
+
+    if (size % wordSize != 0 || size < wf.headerBytes()) {
+        report(WireFault::MisalignedRecord, phys_off,
+               k->name() + " record size " + std::to_string(size) +
+                   " is not a word-aligned object size");
+        return 0;
+    }
+    if (size > remaining) {
+        report(WireFault::TruncatedRecord, phys_off,
+               k->name() + " record needs " + std::to_string(size) +
+                   " bytes, segment has " + std::to_string(remaining));
+        return 0;
+    }
+
+    // Reference slots: collect for the deferred (forward-reference)
+    // check. Slot offsets are laid out against the klass's own format;
+    // shift by the header delta to land on the wire offsets.
+    auto noteSlot = [&](std::size_t wire_off) {
+        Word slot = wordAt(rec + wire_off);
+        if (slot == 0)
+            return;
+        pendingRefs_.push_back(
+            PendingRef{slot - 1, phys_off + wire_off});
+        index_.refSlotOffsets.push_back(phys_off + wire_off);
+        ++sum_.refSlots;
+    };
+    if (k->isArray()) {
+        if (k->elemType() == FieldType::Ref) {
+            std::size_t base = wf.arrayHeaderBytes();
+            for (std::uint64_t i = 0; i < array_len; ++i)
+                noteSlot(base + static_cast<std::size_t>(i) * wordSize);
+        }
+    } else {
+        for (std::uint32_t off : k->refOffsets())
+            noteSlot(static_cast<std::size_t>(
+                static_cast<std::ptrdiff_t>(off) - delta));
+    }
+
+    index_.records.push_back(
+        WireIndex::Record{phys_off, logical_, size, k->isArray()});
+    return size;
+}
+
+void
+WireValidator::feed(const std::uint8_t *data, std::size_t len)
+{
+    std::size_t off = 0;
+    while (off < len) {
+        if (diags_.size() >= cfg_.maxDiagnostics)
+            break;
+        std::uint64_t phys = physical_ + off;
+        std::size_t remaining = len - off;
+        if (remaining < wordSize) {
+            report(WireFault::TruncatedRecord, phys,
+                   "segment tail smaller than one word");
+            break;
+        }
+
+        Word first = wordAt(data + off);
+        if (marker::isMarker(first)) {
+            if (first == marker::topMark) {
+                if (awaitingTopRecord_)
+                    report(WireFault::BadRootRecord, phys,
+                           "duplicated top mark: previous top mark at +" +
+                               std::to_string(awaitingTopOffset_) +
+                               " has no record");
+                awaitingTopRecord_ = true;
+                awaitingTopOffset_ = phys;
+                index_.topMarkOffsets.push_back(phys);
+                ++sum_.topMarks;
+                off += wordSize;
+                continue;
+            }
+            if (first == marker::backRef) {
+                if (awaitingTopRecord_) {
+                    report(WireFault::BadRootRecord, phys,
+                           "top mark at +" +
+                               std::to_string(awaitingTopOffset_) +
+                               " followed by a marker, not a record");
+                    awaitingTopRecord_ = false;
+                }
+                if (remaining < 2 * wordSize) {
+                    report(WireFault::TruncatedRecord, phys,
+                           "backward reference missing its slot word");
+                    break;
+                }
+                Word slot = wordAt(data + off + wordSize);
+                // Backward references name objects decoded earlier in
+                // this stream, so the check is immediate.
+                if (slot != 0 && !isRecordStart(slot - 1))
+                    report(WireFault::BadRootRecord, phys + wordSize,
+                           "backward root reference " +
+                               std::to_string(slot - 1) +
+                               " is not a decoded object start");
+                index_.backRefOffsets.push_back(phys);
+                ++sum_.backRefs;
+                off += 2 * wordSize;
+                continue;
+            }
+            report(WireFault::UnknownMarker, phys,
+                   "marker bits set but word " + std::to_string(first) +
+                       " is neither a top mark nor a backward "
+                       "reference");
+            break;
+        }
+
+        std::size_t size = scanRecord(data + off, remaining, phys);
+        if (size == 0)
+            break; // fatal: cannot re-synchronize within this segment
+        recordStarts_.push_back(logical_);
+        awaitingTopRecord_ = false;
+        ++sum_.records;
+        logical_ += size;
+        off += size;
+    }
+    physical_ += len;
+    sum_.physicalBytes = physical_;
+    sum_.logicalBytes = logical_;
+}
+
+void
+WireValidator::finish()
+{
+    for (const PendingRef &p : pendingRefs_) {
+        if (p.target >= logical_)
+            report(WireFault::DanglingReference, p.slotOffset,
+                   "reference " + std::to_string(p.target) +
+                       " is outside [0, " + std::to_string(logical_) +
+                       ")");
+        else if (!isRecordStart(p.target))
+            report(WireFault::DanglingReference, p.slotOffset,
+                   "reference " + std::to_string(p.target) +
+                       " does not land on a decoded object start");
+    }
+    pendingRefs_.clear();
+    if (awaitingTopRecord_) {
+        report(WireFault::BadRootRecord, awaitingTopOffset_,
+               "top mark at end of stream has no record");
+        awaitingTopRecord_ = false;
+    }
+}
+
+std::string
+WireValidator::firstFault() const
+{
+    return diags_.empty() ? std::string() : diags_.front().str();
+}
+
+} // namespace sanitize
+} // namespace skyway

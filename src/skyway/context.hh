@@ -10,7 +10,9 @@
 #define SKYWAY_SKYWAY_CONTEXT_HH
 
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -62,6 +64,29 @@ class FieldUpdateRegistry
 };
 
 /**
+ * SkywaySan debug-mode validation switches (docs/SANITIZER.md).
+ * Default-off; when off the only cost is one branch per stream
+ * construction, flush, and feed — never per object.
+ */
+struct DebugFlags
+{
+    /**
+     * Run the wire-format validator over every flushed segment: the
+     * sender checks its own output at flush, input buffers check what
+     * they ingest, and either end panics with the first diagnostic.
+     */
+    bool validateWire = false;
+
+    /**
+     * Structurally audit the rebuilt object graph after
+     * InputBuffer::finalize(): every reference must land on a rebuilt
+     * object start (or a live local heap object installed by a field
+     * update), and no machine-local mark bits may have leaked in.
+     */
+    bool checkReceivedGraph = false;
+};
+
+/**
  * Per-JVM Skyway runtime state shared by all of the node's streams.
  */
 class SkywayContext
@@ -74,6 +99,9 @@ class SkywayContext
         // Note: a heap *without* the baddr word can still receive
         // Skyway transfers; only sending requires the extra header
         // word, and SkywaySender enforces that.
+        debug_.validateWire = std::getenv("SKYWAY_WIRE_CHECK") != nullptr;
+        debug_.checkReceivedGraph =
+            std::getenv("SKYWAY_GRAPH_CHECK") != nullptr;
     }
 
     ManagedHeap &heap() { return heap_; }
@@ -127,14 +155,30 @@ class SkywayContext
         return id;
     }
 
-    /** The global type id for @p k, registering it if needed. */
+    /**
+     * The global type id for @p k, registering it if needed. Callable
+     * from concurrent sender threads: the common path is one relaxed
+     * load of the cached id; the first-registration slow path is
+     * serialized because the resolver (registry view + network) is
+     * not thread-safe.
+     */
     std::int32_t
     tidFor(Klass *k)
     {
-        if (k->tid() == Klass::unregisteredTid)
-            k->setTid(resolver_.idForClass(k->name()));
-        return k->tid();
+        std::int32_t t = k->tid();
+        if (t != Klass::unregisteredTid)
+            return t;
+        std::lock_guard<std::mutex> lock(tidMutex_);
+        t = k->tid();
+        if (t == Klass::unregisteredTid) {
+            t = resolver_.idForClass(k->name());
+            k->setTid(t);
+        }
+        return t;
     }
+
+    DebugFlags &debug() { return debug_; }
+    const DebugFlags &debug() const { return debug_; }
 
   private:
     ManagedHeap &heap_;
@@ -143,6 +187,8 @@ class SkywayContext
     std::uint8_t sid_ = 0;
     std::uint16_t nextStreamId_ = 1;
     FieldUpdateRegistry updates_;
+    DebugFlags debug_;
+    std::mutex tidMutex_;
 };
 
 } // namespace skyway

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_set>
 
 #include "heap/objectops.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "sanitize/wirecheck.hh"
 #include "skyway/baddr.hh"
 
 namespace skyway
@@ -50,6 +52,9 @@ InputBuffer::InputBuffer(SkywayContext &ctx, std::size_t chunk_bytes)
 {
     panicIf(chunk_bytes < 4 * wordSize,
             "InputBuffer: chunk size too small");
+    if (ctx_.debug().validateWire)
+        validator_ = std::make_unique<sanitize::WireValidator>(
+            ctx_.resolver(), sanitize::WireCheckConfig{fmt_});
 }
 
 InputBuffer::~InputBuffer()
@@ -123,6 +128,16 @@ InputBuffer::feed(const std::uint8_t *data, std::size_t len)
 {
     SKYWAY_SPAN("receiver.feed");
     panicIf(finalized_, "InputBuffer: feed after finalize");
+    if (validator_) {
+        // Fail on the validator's verdict *before* the parser touches
+        // the segment: the parser assumes well-formed input (a forged
+        // type id would panic deep inside the registry with no context),
+        // while the validator names the fault and its stream offset.
+        validator_->feed(data, len);
+        panicIf(!validator_->ok(),
+                "SkywaySan: receiver wire validation failed: " +
+                    validator_->firstFault());
+    }
     std::size_t off = 0;
     while (off < len) {
         const std::uint8_t *rec = data + off;
@@ -228,6 +243,14 @@ InputBuffer::finalize()
     // cost (paper section 4.3); its time is the span to watch.
     SKYWAY_SPAN("receiver.absolutize");
     panicIf(finalized_, "InputBuffer: finalize called twice");
+    if (validator_) {
+        // Reject a corrupt stream *before* absolutization writes
+        // anything into the heap.
+        validator_->finish();
+        panicIf(!validator_->ok(),
+                "SkywaySan: receiver wire validation failed: " +
+                    validator_->firstFault());
+    }
     for (Chunk &c : chunks_)
         absolutizeChunk(c);
 
@@ -253,7 +276,54 @@ InputBuffer::finalize()
         heap_.makePinWalkable(c.pin);
     }
     finalized_ = true;
+    if (ctx_.debug().checkReceivedGraph)
+        auditRebuilt();
     publishMetrics();
+}
+
+void
+InputBuffer::auditRebuilt() const
+{
+    std::unordered_set<Address> starts;
+    for (const Chunk &c : chunks_) {
+        Address a = c.base;
+        Address end = c.base + c.fill;
+        while (a < end) {
+            starts.insert(a);
+            std::size_t size = heap_.objectSize(a);
+            panicIf(size == 0 || a + size > end,
+                    "SkywaySan: rebuilt object at " +
+                        std::to_string(a) + " overruns its chunk");
+            a += size;
+        }
+    }
+    for (const Chunk &c : chunks_) {
+        Address a = c.base;
+        Address end = c.base + c.fill;
+        while (a < end) {
+            Word m = heap_.markOf(a);
+            panicIf((m & ~(mark::hashMask | mark::hashComputedBit)) != 0,
+                    "SkywaySan: rebuilt " + heap_.klassOf(a)->name() +
+                        " carries non-transfer mark bits");
+            forEachRefSlot(heap_, a, [&](std::size_t off) {
+                Address t = heap_.loadRef(a, off);
+                // A reference either stays inside this buffer's
+                // rebuilt closure or was installed by a registered
+                // field update, which may point anywhere in the local
+                // heap.
+                panicIf(t != nullAddr && !starts.count(t) &&
+                            !heap_.contains(t),
+                        "SkywaySan: rebuilt " +
+                            heap_.klassOf(a)->name() +
+                            " references outside the input buffer "
+                            "and the heap");
+            });
+            a += heap_.objectSize(a);
+        }
+    }
+    for (Address r : roots_)
+        panicIf(r != nullAddr && !starts.count(r),
+                "SkywaySan: a root does not name a rebuilt object");
 }
 
 const std::vector<Address> &

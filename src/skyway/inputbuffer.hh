@@ -25,6 +25,7 @@
 #define SKYWAY_SKYWAY_INPUTBUFFER_HH
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -32,6 +33,11 @@
 
 namespace skyway
 {
+
+namespace sanitize
+{
+class WireValidator;
+}
 
 /** Default input-buffer chunk size (user-tunable per the paper). */
 constexpr std::size_t defaultInputChunkBytes = 256 << 10;
@@ -120,6 +126,16 @@ class InputBuffer
     void absolutizeChunk(Chunk &c);
 
     /**
+     * SkywaySan post-finalize structural audit
+     * (ctx.debug().checkReceivedGraph): walk the rebuilt chunks and
+     * panic unless every object parses, every reference lands on a
+     * rebuilt object start (or a live local heap object installed by
+     * a field update), every root resolves, and no machine-local mark
+     * bits leaked through the transfer.
+     */
+    void auditRebuilt() const;
+
+    /**
      * Push the delta of stats_ since the last publication into the
      * `skyway.receiver.*` counters. Runs at buffer boundaries —
      * finalize() and destruction — never per feed() or per record,
@@ -156,6 +172,9 @@ class InputBuffer
     SkywayReceiveStats stats_;
     /** Values of stats_ as of the last publishMetrics(). */
     SkywayReceiveStats published_;
+
+    /** Debug-mode wire validator (ctx.debug().validateWire). */
+    std::unique_ptr<sanitize::WireValidator> validator_;
 };
 
 } // namespace skyway

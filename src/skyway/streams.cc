@@ -3,13 +3,53 @@
 namespace skyway
 {
 
+namespace
+{
+
+/** A wire validator when the context asks for one (debug mode). */
+std::unique_ptr<sanitize::WireValidator>
+makeWireValidator(SkywayContext &ctx, const ObjectFormat &wire_format)
+{
+    if (!ctx.debug().validateWire)
+        return nullptr;
+    return std::make_unique<sanitize::WireValidator>(
+        ctx.resolver(), sanitize::WireCheckConfig{wire_format});
+}
+
+/** Tee flushed segments into @p v before the sink sees them. */
+OutputBuffer::FlushFn
+teeIntoValidator(OutputBuffer::FlushFn sink, sanitize::WireValidator *v)
+{
+    if (!v)
+        return sink;
+    return [sink = std::move(sink), v](const std::uint8_t *data,
+                                       std::size_t len) {
+        v->feed(data, len);
+        sink(data, len);
+    };
+}
+
+} // namespace
+
 SkywayObjectOutputStream::SkywayObjectOutputStream(
     SkywayContext &ctx, OutputBuffer::FlushFn sink,
     std::size_t buffer_bytes, std::optional<ObjectFormat> target_format)
-    : buffer_(buffer_bytes, std::move(sink)),
+    : validator_(makeWireValidator(
+          ctx, target_format.value_or(ctx.heap().format()))),
+      buffer_(buffer_bytes,
+              teeIntoValidator(std::move(sink), validator_.get())),
       sender_(ctx, buffer_,
               target_format.value_or(ctx.heap().format()))
 {
+}
+
+void
+SkywayObjectOutputStream::checkWire()
+{
+    validator_->finish();
+    panicIf(!validator_->ok(),
+            "SkywaySan: sender wire validation failed: " +
+                validator_->firstFault());
 }
 
 SkywayFileOutputStream::SkywayFileOutputStream(SkywayContext &ctx,
@@ -125,12 +165,15 @@ SkywaySerializer::bindSink(ByteSink &out)
     if (curSink_)
         endStream(*curSink_);
     ByteSink *sink = &out;
+    wireValidator_ = makeWireValidator(ctx_, ctx_.heap().format());
     outBuf_ = std::make_unique<OutputBuffer>(
         bufferBytes_,
-        [sink](const std::uint8_t *data, std::size_t len) {
-            sink->writeU32(static_cast<std::uint32_t>(len));
-            sink->write(data, len);
-        });
+        teeIntoValidator(
+            [sink](const std::uint8_t *data, std::size_t len) {
+                sink->writeU32(static_cast<std::uint32_t>(len));
+                sink->write(data, len);
+            },
+            wireValidator_.get()));
     sender_ = std::make_unique<SkywaySender>(ctx_, *outBuf_,
                                              ctx_.heap().format());
     curSink_ = &out;
@@ -152,6 +195,12 @@ SkywaySerializer::endStream(ByteSink &out)
             "SkywaySerializer: endStream on a different sink");
     outBuf_->flushNow();
     sender_->publishMetrics();
+    if (wireValidator_) {
+        wireValidator_->finish();
+        panicIf(!wireValidator_->ok(),
+                "SkywaySan: sender wire validation failed: " +
+                    wireValidator_->firstFault());
+    }
     out.writeU32(0);
     // Fold this stream's stats into the running totals.
     const SkywaySendStats &s = sender_->stats();
@@ -167,6 +216,7 @@ SkywaySerializer::endStream(ByteSink &out)
     doneStats_.dataBytes += s.dataBytes;
     sender_.reset();
     outBuf_.reset();
+    wireValidator_.reset();
     curSink_ = nullptr;
 }
 

@@ -17,6 +17,7 @@
 
 #include "iomodel/disk.hh"
 #include "net/cluster.hh"
+#include "sanitize/wirecheck.hh"
 #include "sd/serializer.hh"
 #include "skyway/inputbuffer.hh"
 #include "skyway/sender.hh"
@@ -54,6 +55,8 @@ class SkywayObjectOutputStream
     {
         buffer_.flushNow();
         sender_.publishMetrics();
+        if (validator_)
+            checkWire();
     }
 
     std::uint64_t totalBytes() const { return buffer_.totalBytes(); }
@@ -61,6 +64,16 @@ class SkywayObjectOutputStream
     std::uint16_t streamId() const { return sender_.streamId(); }
 
   private:
+    /** Settle the validator's deferred checks; panic on a fault. */
+    void checkWire();
+
+    /**
+     * Debug-mode wire validator (ctx.debug().validateWire), teed into
+     * the flush path before the sink sees the bytes. Declared before
+     * buffer_: the sink lambda holds a raw pointer to it and the
+     * buffer may flush from its destructor.
+     */
+    std::unique_ptr<sanitize::WireValidator> validator_;
     OutputBuffer buffer_;
     SkywaySender sender_;
 };
@@ -246,6 +259,8 @@ class SkywaySerializer : public Serializer
     std::size_t chunkBytes_;
 
     ByteSink *curSink_ = nullptr;
+    /** Debug-mode wire validator; see SkywayObjectOutputStream. */
+    std::unique_ptr<sanitize::WireValidator> wireValidator_;
     std::unique_ptr<OutputBuffer> outBuf_;
     std::unique_ptr<SkywaySender> sender_;
     SkywaySendStats doneStats_;

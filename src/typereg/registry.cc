@@ -59,6 +59,14 @@ TypeRegistryDriver::klassForId(std::int32_t id)
     return k;
 }
 
+Klass *
+TypeRegistryDriver::tryKlassForId(std::int32_t id)
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= names_.size())
+        return nullptr;
+    return klassForId(id);
+}
+
 std::vector<std::uint8_t>
 TypeRegistryDriver::encodeView() const
 {
@@ -93,8 +101,15 @@ TypeRegistryDriver::handle(NodeId, int tag,
         ByteSource src(payload);
         std::int32_t id = src.readI32();
         VectorSink sink;
-        sink.writeString(nameForId(id));
-        ++stats_.classStringsSent;
+        // An unknown id gets an empty-name reply instead of a driver
+        // panic: a worker probing a forged id from a corrupt stream
+        // (the SkywaySan validator) must not crash the driver.
+        if (id >= 0 && static_cast<std::size_t>(id) < names_.size()) {
+            sink.writeString(names_[id]);
+            ++stats_.classStringsSent;
+        } else {
+            sink.writeString("");
+        }
         return sink.takeBytes();
     }
     panic("TypeRegistryDriver: unknown message tag " +
@@ -172,6 +187,8 @@ TypeRegistryWorker::nameForId(std::int32_t id)
                      sink.takeBytes());
     ByteSource src(reply);
     std::string name = src.readString();
+    panicIf(name.empty(), "TypeRegistryWorker: unknown type id " +
+                              std::to_string(id));
     insertView(name, id);
     return name;
 }
@@ -188,6 +205,26 @@ TypeRegistryWorker::klassForId(std::int32_t id)
         return klasses_.load(it->second);
     }
     return klasses_.load(nameForId(id));
+}
+
+Klass *
+TypeRegistryWorker::tryKlassForId(std::int32_t id)
+{
+    if (idToName_.count(id))
+        return klassForId(id);
+    // Graceful stale-view probe: an empty-name reply means no registry
+    // ever assigned the id (it came from a corrupt stream).
+    ++stats_.remoteLookupsIssued;
+    VectorSink sink;
+    sink.writeI32(id);
+    std::vector<std::uint8_t> reply = net_.request(
+        node_, driver_, regmsg::lookupName, sink.takeBytes());
+    ByteSource src(reply);
+    std::string name = src.readString();
+    if (name.empty())
+        return nullptr;
+    insertView(name, id);
+    return klassForId(id);
 }
 
 } // namespace skyway

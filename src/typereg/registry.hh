@@ -61,6 +61,15 @@ class TypeResolver
      * class on first encounter.
      */
     virtual Klass *klassForId(std::int32_t id) = 0;
+
+    /**
+     * Like klassForId() but returns nullptr for an id no registry ever
+     * assigned instead of panicking. The SkywaySan wire-format
+     * validator probes ids found in (possibly corrupt) streams and
+     * must be able to reject a forged id as a diagnostic — without a
+     * worker being able to crash the driver by relaying it.
+     */
+    virtual Klass *tryKlassForId(std::int32_t id) = 0;
 };
 
 /** Registry traffic statistics (tests assert the at-most-once claim). */
@@ -94,6 +103,7 @@ class TypeRegistryDriver : public TypeResolver
     std::int32_t idForClass(const std::string &name) override;
     std::string nameForId(std::int32_t id) override;
     Klass *klassForId(std::int32_t id) override;
+    Klass *tryKlassForId(std::int32_t id) override;
 
     /** Number of classes registered cluster-wide. */
     std::size_t size() const { return names_.size(); }
@@ -132,6 +142,7 @@ class TypeRegistryWorker : public TypeResolver
     std::int32_t idForClass(const std::string &name) override;
     std::string nameForId(std::int32_t id) override;
     Klass *klassForId(std::int32_t id) override;
+    Klass *tryKlassForId(std::int32_t id) override;
 
     std::size_t viewSize() const { return view_.size(); }
     const RegistryStats &stats() const { return stats_; }

@@ -30,7 +30,14 @@ class FailureTest : public ::testing::Test
           net_(2),
           a_(catalog_, net_, 0, 0),
           b_(catalog_, net_, 1, 0)
-    {}
+    {
+        // These tests exercise the raw parser's own guards; with the
+        // SkywaySan validator enabled (e.g. SKYWAY_WIRE_CHECK in the
+        // environment) it would reject the stream first with a
+        // different message.
+        a_.skyway().debug() = DebugFlags{};
+        b_.skyway().debug() = DebugFlags{};
+    }
 
     ClassCatalog catalog_;
     ClusterNetwork net_;

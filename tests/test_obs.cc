@@ -220,6 +220,38 @@ TEST(ObsSpan, TracerPhasesAndJson)
     EXPECT_NE(doc.find("test.phase_span"), std::string::npos) << doc;
 }
 
+TEST(ObsHeap, OccupancyGaugesTrackHeapLifecycle)
+{
+    ClassCatalog catalog = makeTestCatalog();
+    obs::MetricsSnapshot before =
+        obs::MetricsRegistry::global().snapshot();
+    std::int64_t in_use_during = 0;
+    {
+        ClusterNetwork net(2);
+        Jvm a(catalog, net, 0, 0);
+        Jvm b(catalog, net, 1, 0);
+        LocalRoots roots(a.heap());
+        makeList(a, roots, 500);
+        a.heap().notePeak();
+        b.heap().notePeak();
+        obs::MetricsSnapshot during =
+            obs::MetricsRegistry::global().snapshot().deltaSince(
+                before);
+        in_use_during = scalarOf(during, "skyway.heap.in_use_bytes");
+        EXPECT_GT(in_use_during, 0);
+        // The peak gauge is a high-water mark: never below the level.
+        EXPECT_GE(scalarOf(during, "skyway.heap.peak_bytes"),
+                  in_use_during);
+    }
+    // Heaps destroyed: the level drops back out of the cluster-wide
+    // gauge, while each heap's peak contribution stays.
+    obs::MetricsSnapshot after =
+        obs::MetricsRegistry::global().snapshot().deltaSince(before);
+    EXPECT_EQ(scalarOf(after, "skyway.heap.in_use_bytes"), 0);
+    EXPECT_GE(scalarOf(after, "skyway.heap.peak_bytes"),
+              in_use_during);
+}
+
 TEST(ObsSender, RegistryMatchesLegacyStats)
 {
     ClassCatalog catalog = makeTestCatalog();

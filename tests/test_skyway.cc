@@ -447,6 +447,38 @@ TEST_F(SkywayTest, MultiThreadedSendersShareObjects)
     }
 }
 
+TEST_F(SkywayTest, ConcurrentTidRegistrationIsRaceFree)
+{
+    // Regression (TSan): Klass::tid_ is published by whichever sender
+    // thread first registers the class. Every thread must observe
+    // either the registered id (relaxed fast path) or take the
+    // serialized registration slow path — never a torn id and never
+    // two registrations for one class.
+    std::vector<Klass *> ks = {
+        nodeA_.klasses().load("test.Point"),
+        nodeA_.klasses().load("test.Pair"),
+        nodeA_.klasses().load("test.Node"),
+        nodeA_.klasses().load("test.Mixed"),
+        nodeA_.klasses().arrayOfPrimitive(FieldType::Int),
+    };
+    constexpr int kThreads = 8;
+    std::vector<std::vector<std::int32_t>> ids(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            for (Klass *k : ks)
+                ids[t].push_back(nodeA_.skyway().tidFor(k));
+        });
+    for (auto &th : threads)
+        th.join();
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(ids[t], ids[0]) << "thread " << t;
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+        EXPECT_EQ(ks[i]->tid(), ids[0][i]);
+        EXPECT_NE(ks[i]->tid(), Klass::unregisteredTid);
+    }
+}
+
 TEST_F(SkywayTest, SerializerAdapterRoundTrip)
 {
     SkywaySerializer ser(nodeA_.skyway());

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Metric-name lint: keep src/ and docs/OBSERVABILITY.md in sync.
+
+Extracts every metric registration literal in src/ --
+``counter("...")``, ``gauge("...")``, ``histogram("...")`` -- and every
+backticked dotted metric name in the "Metric namespace" section of
+docs/OBSERVABILITY.md, then fails if either set has an entry the other
+lacks. Registered as the `lint-metrics` CTest target.
+"""
+
+import pathlib
+import re
+import sys
+
+REG_RE = re.compile(r'\b(?:counter|gauge|histogram)\(\s*"([a-z0-9_.]+)"')
+DOC_RE = re.compile(r"`([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)`")
+
+
+def code_names(src: pathlib.Path) -> dict:
+    names = {}
+    for path in sorted(src.rglob("*.cc")) + sorted(src.rglob("*.hh")):
+        for i, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), 1
+        ):
+            for name in REG_RE.findall(line):
+                names.setdefault(name, f"{path}:{i}")
+    return names
+
+
+def doc_names(doc: pathlib.Path) -> dict:
+    text = doc.read_text(encoding="utf-8")
+    start = text.find("### Metric namespace")
+    if start < 0:
+        sys.exit(f"lint-metrics: no 'Metric namespace' section in {doc}")
+    end = text.find("\n## ", start)
+    section = text[start : end if end > 0 else len(text)]
+    names = {}
+    for i, line in enumerate(section.splitlines(), 1):
+        for name in DOC_RE.findall(line):
+            names.setdefault(name, f"{doc} (section line {i})")
+    return names
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    code = code_names(root / "src")
+    docs = doc_names(root / "docs" / "OBSERVABILITY.md")
+
+    failures = []
+    for name in sorted(set(code) - set(docs)):
+        failures.append(
+            f"registered in code but missing from the docs table: "
+            f"{name} ({code[name]})"
+        )
+    for name in sorted(set(docs) - set(code)):
+        failures.append(
+            f"documented but never registered in src/: "
+            f"{name} ({docs[name]})"
+        )
+
+    if failures:
+        print("lint-metrics FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(
+        f"lint-metrics OK: {len(code)} metric names match between "
+        f"src/ and docs/OBSERVABILITY.md"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
