@@ -1,0 +1,30 @@
+# Driver for the perf-diff CTest target: run a bench binary at the
+# baseline's scale with --json, then diff the deterministic counters
+# against the committed baseline with tools/perf_diff.py. Invoked as
+#   cmake -DBENCH=... -DARGS=... -DOUT=... -DBASELINE=...
+#         -DDIFF=tools/perf_diff.py -DPYTHON=... -P perfdiff.cmake
+
+foreach(var BENCH OUT BASELINE DIFF PYTHON)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "perfdiff.cmake: ${var} required")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${BENCH} ${ARGS} --json=${OUT}
+    RESULT_VARIABLE bench_rc
+    OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR
+        "perfdiff.cmake: ${BENCH} exited with ${bench_rc}")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${DIFF} ${BASELINE} ${OUT}
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "perfdiff.cmake: deterministic counters drifted from "
+        "${BASELINE} (${diff_rc}) — if the change is intended, "
+        "regenerate the baseline (see bench/baselines/README.md)")
+endif()

@@ -1,5 +1,7 @@
 #include "net/cluster.hh"
 
+#include <cstring>
+
 #include "obs/metrics.hh"
 
 namespace skyway
@@ -102,6 +104,24 @@ ClusterNetwork::pollTag(NodeId dst, int tag, NetMessage &out)
         }
     }
     return false;
+}
+
+std::ptrdiff_t
+ClusterNetwork::pollTagInto(NodeId dst, int tag,
+                            const ReserveFn &reserve)
+{
+    NetMessage msg;
+    // Dequeue under the mailbox lock, then deliver outside it: the
+    // reserve callback may allocate heap chunks and the copy-out may
+    // be large; neither should stall concurrent senders.
+    if (!pollTag(dst, tag, msg))
+        return -1;
+    if (msg.payload.empty())
+        return 0;
+    std::uint8_t *to = reserve(msg.payload.size());
+    panicIf(to == nullptr, "pollTagInto: reserve returned null");
+    std::memcpy(to, msg.payload.data(), msg.payload.size());
+    return static_cast<std::ptrdiff_t>(msg.payload.size());
 }
 
 void

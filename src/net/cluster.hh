@@ -74,6 +74,29 @@ class ClusterNetwork
      */
     bool pollTag(NodeId dst, int tag, NetMessage &out);
 
+    /**
+     * Returns destination storage for an incoming payload of the
+     * given size — how a receiver posts a buffer for the fabric to
+     * deliver into (Skyway input buffers hand out old-gen chunk
+     * space).
+     */
+    using ReserveFn = std::function<std::uint8_t *(std::size_t)>;
+
+    /**
+     * Like pollTag, but delivers the payload *into caller-posted
+     * storage*: the fabric asks @p reserve for a destination of the
+     * payload's size and moves the bytes straight there — the modeled
+     * equivalent of a NIC DMA-ing into a posted receive buffer (a
+     * real socket transport would recv() into it directly). The
+     * receiver-side staging copy is gone.
+     *
+     * Returns the payload size, 0 for an empty (end-of-stream)
+     * payload — @p reserve is not called — or -1 when no message with
+     * the tag is pending.
+     */
+    std::ptrdiff_t pollTagInto(NodeId dst, int tag,
+                               const ReserveFn &reserve);
+
     /** Register @p handler as @p node's synchronous request daemon. */
     void registerHandler(NodeId node, RequestHandler handler);
 

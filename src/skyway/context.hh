@@ -9,6 +9,7 @@
 #ifndef SKYWAY_SKYWAY_CONTEXT_HH
 #define SKYWAY_SKYWAY_CONTEXT_HH
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
@@ -108,8 +109,17 @@ class SkywayContext
     KlassTable &klasses() { return klasses_; }
     TypeResolver &resolver() { return resolver_; }
 
-    /** The current shuffle-phase id (0 = before any phase). */
-    std::uint8_t currentSid() const { return sid_; }
+    /**
+     * The current shuffle-phase id (0 = before any phase). Readable
+     * from concurrent sender worker threads; the acquire pairs with
+     * shuffleStart()'s release so a worker that observes the new
+     * phase id also observes everything the coordinator did before
+     * opening it.
+     */
+    std::uint8_t currentSid() const
+    {
+        return sid_.load(std::memory_order_acquire);
+    }
 
     /**
      * Begin a new shuffle phase (the paper's shuffleStart API):
@@ -117,17 +127,23 @@ class SkywayContext
      * in one header byte, so it wraps at 255; on wrap, objects whose
      * baddr was written exactly 255 phases ago would alias — a full
      * traversal 255 phases later is vanishingly unlikely in practice
-     * and tolerated here as in the paper.
+     * and tolerated here as in the paper. Phases are opened by the
+     * coordinating thread between transfers, never by in-flight
+     * sender workers; the mutex only orders a phase bump against a
+     * concurrent stream-id wrap.
      */
     std::uint8_t
     shuffleStart()
     {
-        sid_ = (sid_ == 255) ? 1 : sid_ + 1;
+        std::lock_guard<std::mutex> lock(phaseMutex_);
+        std::uint8_t cur = sid_.load(std::memory_order_relaxed);
+        std::uint8_t next = (cur == 255) ? 1 : cur + 1;
+        sid_.store(next, std::memory_order_release);
         // Phase boundary for the span tracer: spans recorded from
         // here on aggregate under this shuffle's segment.
         obs::SpanTracer::global().beginPhase(
-            "shuffle-" + std::to_string(sid_));
-        return sid_;
+            "shuffle-" + std::to_string(next));
+        return next;
     }
 
     FieldUpdateRegistry &updates() { return updates_; }
@@ -143,15 +159,24 @@ class SkywayContext
      * which invalidates every outstanding claim (streams still open
      * across the bump merely re-copy shared objects; duplication is
      * the existing cross-stream semantics, never corruption).
+     *
+     * Thread-safe: ParallelSender construction and concurrent stream
+     * setup may allocate ids from several threads.
      */
     std::uint16_t
     allocateStreamId()
     {
-        std::uint16_t id = nextStreamId_++;
-        if (nextStreamId_ == 0) {
-            nextStreamId_ = 1;
-            shuffleStart();
+        std::uint16_t id;
+        bool wrapped;
+        {
+            std::lock_guard<std::mutex> lock(streamIdMutex_);
+            id = nextStreamId_++;
+            wrapped = (nextStreamId_ == 0);
+            if (wrapped)
+                nextStreamId_ = 1;
         }
+        if (wrapped)
+            shuffleStart();
         return id;
     }
 
@@ -184,11 +209,13 @@ class SkywayContext
     ManagedHeap &heap_;
     KlassTable &klasses_;
     TypeResolver &resolver_;
-    std::uint8_t sid_ = 0;
+    std::atomic<std::uint8_t> sid_{0};
     std::uint16_t nextStreamId_ = 1;
     FieldUpdateRegistry updates_;
     DebugFlags debug_;
     std::mutex tidMutex_;
+    std::mutex streamIdMutex_;
+    std::mutex phaseMutex_;
 };
 
 } // namespace skyway

@@ -25,6 +25,7 @@ struct ReceiverMetrics
     obs::Counter &oversizedChunks;
     obs::Counter &refsAbsolutized;
     obs::Counter &fieldUpdatesApplied;
+    obs::Counter &zeroCopyBytes;
 
     static ReceiverMetrics &
     get()
@@ -37,6 +38,7 @@ struct ReceiverMetrics
             r.counter("skyway.receiver.oversized_chunks"),
             r.counter("skyway.receiver.refs_absolutized"),
             r.counter("skyway.receiver.field_updates_applied"),
+            r.counter("skyway.receiver.zero_copy_bytes"),
         };
         return m;
     }
@@ -52,6 +54,13 @@ InputBuffer::InputBuffer(SkywayContext &ctx, std::size_t chunk_bytes)
 {
     panicIf(chunk_bytes < 4 * wordSize,
             "InputBuffer: chunk size too small");
+    // Pre-size the tid cache to the registry's current assignment
+    // ceiling so the receive hot loop never grows the vector
+    // mid-parse; ids assigned after construction (stale view) still
+    // grow it lazily.
+    std::int32_t max_id = ctx_.resolver().maxAssignedId();
+    if (max_id >= 0)
+        tidCache_.resize(static_cast<std::size_t>(max_id) + 1, nullptr);
     if (ctx_.debug().validateWire)
         validator_ = std::make_unique<sanitize::WireValidator>(
             ctx_.resolver(), sanitize::WireCheckConfig{fmt_});
@@ -96,11 +105,12 @@ InputBuffer::newChunk(std::size_t at_least)
     if (at_least > chunkBytes_)
         ++stats_.oversizedChunks;
     // Tenured allocation: input buffers live in the old generation.
-    // No zeroing: feed() fills the chunk with records and finalize()
-    // covers the tail with a filler before the GC can walk it.
+    // No zeroing: the transport fills the chunk with records and
+    // finalize() covers the tail with a filler before the GC can walk
+    // it.
     Address base = heap_.allocateOldRaw(cap, false);
     std::size_t pin = heap_.pinOldRange(base, cap);
-    chunks_.push_back(Chunk{base, cap, 0, logical_, pin});
+    chunks_.push_back(Chunk{base, cap, 0, pin});
     ++stats_.chunksAllocated;
 }
 
@@ -120,42 +130,82 @@ InputBuffer::publishMetrics()
                           published_.refsAbsolutized);
     m.fieldUpdatesApplied.add(stats_.fieldUpdatesApplied -
                               published_.fieldUpdatesApplied);
+    m.zeroCopyBytes.add(stats_.zeroCopyBytes -
+                        published_.zeroCopyBytes);
     published_ = stats_;
 }
 
-void
-InputBuffer::feed(const std::uint8_t *data, std::size_t len)
+std::uint8_t *
+InputBuffer::reserveChunk(std::size_t len)
 {
-    SKYWAY_SPAN("receiver.feed");
-    panicIf(finalized_, "InputBuffer: feed after finalize");
-    if (validator_) {
+    panicIf(finalized_, "InputBuffer: reserveChunk after finalize");
+    panicIf(reserved_ != nullptr,
+            "InputBuffer: a chunk reservation is already open");
+    if (chunks_.empty() ||
+        chunks_.back().fill + len > chunks_.back().cap)
+        newChunk(len);
+    Chunk &c = chunks_.back();
+    reserved_ = reinterpret_cast<std::uint8_t *>(c.base + c.fill);
+    reservedLen_ = len;
+    return reserved_;
+}
+
+void
+InputBuffer::commitChunk(std::size_t len)
+{
+    commitReserved(len, /*zero_copy=*/true, /*already_validated=*/false);
+}
+
+void
+InputBuffer::commitReserved(std::size_t len, bool zero_copy,
+                            bool already_validated)
+{
+    SKYWAY_SPAN("receiver.commit");
+    panicIf(finalized_, "InputBuffer: commit after finalize");
+    panicIf(reserved_ == nullptr,
+            "InputBuffer: commit without a reservation");
+    panicIf(len > reservedLen_,
+            "InputBuffer: commit exceeds the reservation");
+    if (validator_ && !already_validated) {
         // Fail on the validator's verdict *before* the parser touches
         // the segment: the parser assumes well-formed input (a forged
-        // type id would panic deep inside the registry with no context),
-        // while the validator names the fault and its stream offset.
-        validator_->feed(data, len);
+        // type id would panic deep inside the registry with no
+        // context), while the validator names the fault and its
+        // stream offset. The validator must also read the bytes
+        // before marker words are overwritten with fillers below.
+        validator_->feed(reserved_, len);
         panicIf(!validator_->ok(),
                 "SkywaySan: receiver wire validation failed: " +
                     validator_->firstFault());
     }
+
     std::size_t off = 0;
     while (off < len) {
-        const std::uint8_t *rec = data + off;
-        // Marker words delimit top-level objects; they are consumed
-        // here and never placed in the heap (they occupy no logical
-        // address space). A real object's mark word can never match:
-        // its reserved bits are always zero.
+        std::uint8_t *rec = reserved_ + off;
+        Address pa = reinterpret_cast<Address>(rec);
+        // Marker words delimit top-level objects; they occupy no
+        // logical address space. With the segment already sitting in
+        // chunk storage they are consumed and overwritten in place
+        // with heap filler records, so linear chunk walks skip them.
+        // A real object's mark word can never match: its reserved
+        // bits are always zero.
         Word first;
         std::memcpy(&first, rec, wordSize);
         if (marker::isMarker(first)) {
             if (first == marker::topMark) {
+                panicIf(off + wordSize > len,
+                        "InputBuffer: truncated marker");
                 // The next record is a top-level object.
                 pendingRoots_.push_back(RootSpec{false, logical_});
+                heap_.writeFillerAny(pa, wordSize);
                 off += wordSize;
             } else if (first == marker::backRef) {
+                panicIf(off + 2 * wordSize > len,
+                        "InputBuffer: truncated marker");
                 Word slot;
                 std::memcpy(&slot, rec + wordSize, wordSize);
                 pendingRoots_.push_back(RootSpec{true, slot});
+                heap_.writeFillerAny(pa, 2 * wordSize);
                 off += 2 * wordSize;
             } else {
                 panic("InputBuffer: unknown marker word");
@@ -170,35 +220,119 @@ InputBuffer::feed(const std::uint8_t *data, std::size_t len)
         panicIf(off + size > len,
                 "InputBuffer: record spans a streamed segment");
 
-        if (chunks_.empty() ||
-            chunks_.back().fill + size > chunks_.back().cap)
-            newChunk(size);
-        Chunk &c = chunks_.back();
-        std::memcpy(reinterpret_cast<void *>(c.base + c.fill), rec,
-                    size);
-        c.fill += size;
+        // Extend the open logical run, or start a new one after a
+        // marker or a chunk boundary broke contiguity.
+        if (!runs_.empty() &&
+            runs_.back().base + runs_.back().bytes == pa &&
+            runs_.back().firstLogical + runs_.back().bytes == logical_)
+            runs_.back().bytes += size;
+        else
+            runs_.push_back(Run{logical_, pa, size});
+
         logical_ += size;
         off += size;
         ++stats_.objectsReceived;
         stats_.bytesReceived += size;
+    }
+
+    chunks_.back().fill += len;
+    if (zero_copy)
+        stats_.zeroCopyBytes += len;
+    reserved_ = nullptr;
+    reservedLen_ = 0;
+}
+
+std::size_t
+InputBuffer::itemSize(const std::uint8_t *data, std::size_t len)
+{
+    Word first;
+    std::memcpy(&first, data, wordSize);
+    if (marker::isMarker(first)) {
+        if (first == marker::topMark)
+            return wordSize;
+        if (first == marker::backRef) {
+            panicIf(len < 2 * wordSize,
+                    "InputBuffer: truncated marker");
+            return 2 * wordSize;
+        }
+        panic("InputBuffer: unknown marker word");
+    }
+    Word tid_word;
+    std::memcpy(&tid_word, data + offsetKlass, wordSize);
+    Klass *k = klassForTid(static_cast<std::int32_t>(tid_word));
+    std::size_t size = recordSize(data, k);
+    panicIf(size > len, "InputBuffer: record spans a streamed segment");
+    return size;
+}
+
+std::size_t
+InputBuffer::scanBatch(const std::uint8_t *data, std::size_t len,
+                       std::size_t limit)
+{
+    std::size_t off = 0;
+    while (off < len) {
+        std::size_t size = itemSize(data + off, len - off);
+        if (off + size > limit)
+            break;
+        off += size;
+    }
+    return off;
+}
+
+void
+InputBuffer::feed(const std::uint8_t *data, std::size_t len)
+{
+    SKYWAY_SPAN("receiver.feed");
+    panicIf(finalized_, "InputBuffer: feed after finalize");
+    if (validator_) {
+        validator_->feed(data, len);
+        panicIf(!validator_->ok(),
+                "SkywaySan: receiver wire validation failed: " +
+                    validator_->firstFault());
+    }
+    // Compatibility path for byte-owning callers: split the segment
+    // at item boundaries into batches that pack into regular-size
+    // chunks (one memcpy per batch), then run the shared in-place
+    // commit. The zero-copy path (reserveChunk/commitChunk) skips
+    // this copy entirely.
+    std::size_t off = 0;
+    while (off < len) {
+        std::size_t avail = chunks_.empty()
+                                ? chunkBytes_
+                                : chunks_.back().cap -
+                                      chunks_.back().fill;
+        std::size_t batch = scanBatch(data + off, len - off, avail);
+        if (batch == 0) {
+            // Nothing fits the current chunk; size the batch for a
+            // fresh chunk (oversized when one record alone exceeds
+            // the regular chunk size).
+            std::size_t first = itemSize(data + off, len - off);
+            batch = (first >= chunkBytes_)
+                        ? first
+                        : scanBatch(data + off, len - off, chunkBytes_);
+        }
+        std::uint8_t *dst = reserveChunk(batch);
+        std::memcpy(dst, data + off, batch);
+        commitReserved(batch, /*zero_copy=*/false,
+                       /*already_validated=*/true);
+        off += batch;
     }
 }
 
 Address
 InputBuffer::resolveRel(std::uint64_t rel) const
 {
-    // Find the chunk whose logical range covers rel: chunks are
-    // ordered by firstLogical and may be partially filled.
-    auto it = std::upper_bound(
-        chunks_.begin(), chunks_.end(), rel,
-        [](std::uint64_t r, const Chunk &c) {
-            return r < c.firstLogical;
-        });
-    panicIf(it == chunks_.begin(), "InputBuffer: bad relative address");
+    // Find the logical run covering rel: runs are in ascending
+    // firstLogical order.
+    auto it = std::upper_bound(runs_.begin(), runs_.end(), rel,
+                               [](std::uint64_t r, const Run &run) {
+                                   return r < run.firstLogical;
+                               });
+    panicIf(it == runs_.begin(), "InputBuffer: bad relative address");
     --it;
     std::uint64_t off = rel - it->firstLogical;
-    panicIf(off >= it->fill,
-            "InputBuffer: relative address outside chunk fill");
+    panicIf(off >= it->bytes,
+            "InputBuffer: relative address outside any run");
     return it->base + off;
 }
 
@@ -210,6 +344,11 @@ InputBuffer::absolutizeChunk(Chunk &c)
     bool have_updates = !ctx_.updates().empty();
 
     while (a < end) {
+        // Consumed markers were overwritten with fillers at commit.
+        if (ManagedHeap::isFiller(a)) {
+            a += ManagedHeap::fillerSize(a);
+            continue;
+        }
         Word tid_word = heap_.loadWord(a, offsetKlass);
         Klass *k = klassForTid(static_cast<std::int32_t>(tid_word));
         // Absolutize the type: registry view id -> local klass
@@ -218,7 +357,7 @@ InputBuffer::absolutizeChunk(Chunk &c)
         std::size_t size = heap_.objectSize(a);
 
         // Absolutize every reference slot: relative address a' maps
-        // to chunk_base + (a' - chunk_first_logical).
+        // to run_base + (a' - run_first_logical).
         forEachRefSlot(heap_, a, [&](std::size_t off) {
             Word slot = heap_.loadWord(a, off);
             if (slot == 0)
@@ -243,6 +382,8 @@ InputBuffer::finalize()
     // cost (paper section 4.3); its time is the span to watch.
     SKYWAY_SPAN("receiver.absolutize");
     panicIf(finalized_, "InputBuffer: finalize called twice");
+    panicIf(reserved_ != nullptr,
+            "InputBuffer: finalize with an open chunk reservation");
     if (validator_) {
         // Reject a corrupt stream *before* absolutization writes
         // anything into the heap.
@@ -289,6 +430,10 @@ InputBuffer::auditRebuilt() const
         Address a = c.base;
         Address end = c.base + c.fill;
         while (a < end) {
+            if (ManagedHeap::isFiller(a)) {
+                a += ManagedHeap::fillerSize(a);
+                continue;
+            }
             starts.insert(a);
             std::size_t size = heap_.objectSize(a);
             panicIf(size == 0 || a + size > end,
@@ -301,6 +446,10 @@ InputBuffer::auditRebuilt() const
         Address a = c.base;
         Address end = c.base + c.fill;
         while (a < end) {
+            if (ManagedHeap::isFiller(a)) {
+                a += ManagedHeap::fillerSize(a);
+                continue;
+            }
             Word m = heap_.markOf(a);
             panicIf((m & ~(mark::hashMask | mark::hashComputedBit)) != 0,
                     "SkywaySan: rebuilt " + heap_.klassOf(a)->name() +

@@ -9,16 +9,28 @@
  * oversized chunks are created for objects larger than the regular
  * chunk size.
  *
+ * Ingest is zero-copy: the transport calls reserveChunk(len) to get a
+ * pointer directly into old-gen chunk storage, writes the streamed
+ * segment there (a socket receive, a modeled NIC DMA, a disk read),
+ * and calls commitChunk(len). The commit parses the records *in
+ * place*: marker words (top marks, backward references) are consumed
+ * and overwritten with heap filler records — they occupy physical
+ * chunk space but no logical (relative-address) space — and every
+ * maximal marker-free stretch of records becomes one logical *run* in
+ * the relative→absolute translation table. The legacy feed() entry
+ * point remains as the compatibility path for byte-owning callers
+ * (framed serializer streams, in-memory tests): it copies each
+ * segment once into the reservation, packing records into chunks at
+ * record granularity exactly as before.
+ *
  * While streaming, chunks are pinned *opaque* (klass words still hold
  * type IDs, references are still relative), so the GC neither walks
  * nor frees them. finalize() runs the single linear absolutization
  * pass: klass IDs become klass pointers via the registry view,
- * relative references become absolute addresses via the chunk
- * translation (find chunk i containing relative address a, add chunk
- * base, account for partially filled chunks), registered field
- * updates are applied, the card table is updated for the new
- * pointers, and the chunks become pinned *walkable* — live until the
- * developer frees the buffer.
+ * relative references become absolute addresses via the run
+ * translation, registered field updates are applied, the card table
+ * is updated for the new pointers, and the chunks become pinned
+ * *walkable* — live until the developer frees the buffer.
  */
 
 #ifndef SKYWAY_SKYWAY_INPUTBUFFER_HH
@@ -55,6 +67,8 @@ struct SkywayReceiveStats
     std::uint64_t oversizedChunks = 0;
     std::uint64_t refsAbsolutized = 0;
     std::uint64_t fieldUpdatesApplied = 0;
+    /** Segment bytes the transport wrote directly into chunk storage. */
+    std::uint64_t zeroCopyBytes = 0;
 };
 
 class InputBuffer
@@ -75,8 +89,29 @@ class InputBuffer
     InputBuffer &operator=(const InputBuffer &) = delete;
 
     /**
-     * Ingest a streamed segment. Segments contain whole records (the
-     * sender never splits a record across flushes).
+     * Zero-copy ingest, step 1: reserve @p len contiguous bytes of
+     * old-gen chunk storage for an incoming segment (opening a new
+     * chunk — oversized if needed — when the current one cannot hold
+     * it). The transport writes the segment bytes directly into the
+     * returned pointer and then calls commitChunk(). At most one
+     * reservation may be outstanding.
+     */
+    std::uint8_t *reserveChunk(std::size_t len);
+
+    /**
+     * Zero-copy ingest, step 2: the transport wrote @p len bytes
+     * (<= the reserved length) of whole records into the reservation;
+     * validate and parse them in place. Counted in
+     * `skyway.receiver.zero_copy_bytes`.
+     */
+    void commitChunk(std::size_t len);
+
+    /**
+     * Compatibility ingest for byte-owning callers: copies the
+     * streamed segment once into chunk reservations, splitting at
+     * record boundaries so records pack into regular-size chunks.
+     * Segments contain whole records (the sender never splits a
+     * record across flushes).
      */
     void feed(const std::uint8_t *data, std::size_t len);
 
@@ -109,8 +144,20 @@ class InputBuffer
         Address base;
         std::size_t cap;
         std::size_t fill;
-        std::uint64_t firstLogical;
         std::size_t pin;
+    };
+
+    /**
+     * One maximal stretch of records that is contiguous in both
+     * logical (relative-address) and physical (chunk) space. Markers
+     * and chunk boundaries end a run; the runs are the receiver's
+     * relative→absolute translation table.
+     */
+    struct Run
+    {
+        std::uint64_t firstLogical;
+        Address base;
+        std::size_t bytes;
     };
 
     /** Resolve a klass from a wire type id (cached). */
@@ -123,6 +170,27 @@ class InputBuffer
     std::size_t recordSize(const std::uint8_t *rec, Klass *k) const;
 
     void newChunk(std::size_t at_least);
+
+    /**
+     * Shared commit: validate (unless the caller already did), then
+     * parse the @p len committed bytes of the open reservation in
+     * place — markers become fillers and root specs, records extend
+     * or open logical runs.
+     */
+    void commitReserved(std::size_t len, bool zero_copy,
+                        bool already_validated);
+
+    /**
+     * Byte length of the longest prefix of whole items (markers or
+     * records) of @p data that fits in @p limit bytes. Returns 0 when
+     * the first item alone does not fit.
+     */
+    std::size_t scanBatch(const std::uint8_t *data, std::size_t len,
+                          std::size_t limit);
+
+    /** Size of the single item (marker or record) at @p data. */
+    std::size_t itemSize(const std::uint8_t *data, std::size_t len);
+
     void absolutizeChunk(Chunk &c);
 
     /**
@@ -149,9 +217,15 @@ class InputBuffer
     ObjectFormat fmt_;
 
     std::vector<Chunk> chunks_;
+    /** Logical runs in ascending firstLogical order. */
+    std::vector<Run> runs_;
     std::uint64_t logical_ = 0;
     bool finalized_ = false;
     bool freed_ = false;
+
+    /** The open reservation (between reserveChunk and commit). */
+    std::uint8_t *reserved_ = nullptr;
+    std::size_t reservedLen_ = 0;
 
     /**
      * Roots noted while streaming, resolved to addresses at

@@ -134,16 +134,24 @@ SkywaySocketInputStream::pump()
 {
     if (done_)
         return true;
-    NetMessage msg;
-    while (net_.pollTag(self_, tag_, msg)) {
-        if (msg.payload.empty()) {
+    while (true) {
+        // Zero-copy handoff: the fabric delivers each flushed segment
+        // straight into old-gen chunk storage posted by the input
+        // buffer; commitChunk() then parses the records in place.
+        std::ptrdiff_t n = net_.pollTagInto(
+            self_, tag_, [this](std::size_t len) {
+                return buffer().reserveChunk(len);
+            });
+        if (n < 0)
+            return false;
+        if (n == 0) {
+            // Zero-length message = end of stream.
             finish();
             done_ = true;
             return true;
         }
-        feed(msg.payload.data(), msg.payload.size());
+        buffer().commitChunk(static_cast<std::size_t>(n));
     }
-    return false;
 }
 
 SkywaySerializer::SkywaySerializer(SkywayContext &ctx,

@@ -149,6 +149,8 @@ TypeRegistryWorker::insertView(const std::string &name, std::int32_t id)
 {
     view_[name] = id;
     idToName_[id] = name;
+    if (id > maxId_)
+        maxId_ = id;
 }
 
 std::int32_t

@@ -70,6 +70,13 @@ class TypeResolver
      * worker being able to crash the driver by relaying it.
      */
     virtual Klass *tryKlassForId(std::int32_t id) = 0;
+
+    /**
+     * The largest id this node has seen assigned, or -1 before any.
+     * Receivers size their tid caches from it up front; a later id
+     * (assigned after the call) is not an error, merely a cache grow.
+     */
+    virtual std::int32_t maxAssignedId() const = 0;
 };
 
 /** Registry traffic statistics (tests assert the at-most-once claim). */
@@ -104,6 +111,13 @@ class TypeRegistryDriver : public TypeResolver
     std::string nameForId(std::int32_t id) override;
     Klass *klassForId(std::int32_t id) override;
     Klass *tryKlassForId(std::int32_t id) override;
+
+    /** Driver ids are dense: the max is the count minus one. */
+    std::int32_t
+    maxAssignedId() const override
+    {
+        return static_cast<std::int32_t>(names_.size()) - 1;
+    }
 
     /** Number of classes registered cluster-wide. */
     std::size_t size() const { return names_.size(); }
@@ -144,6 +158,9 @@ class TypeRegistryWorker : public TypeResolver
     Klass *klassForId(std::int32_t id) override;
     Klass *tryKlassForId(std::int32_t id) override;
 
+    /** View ids may be sparse; tracked as entries are inserted. */
+    std::int32_t maxAssignedId() const override { return maxId_; }
+
     std::size_t viewSize() const { return view_.size(); }
     const RegistryStats &stats() const { return stats_; }
 
@@ -156,6 +173,7 @@ class TypeRegistryWorker : public TypeResolver
     KlassTable &klasses_;
     std::unordered_map<std::string, std::int32_t> view_;
     std::unordered_map<std::int32_t, std::string> idToName_;
+    std::int32_t maxId_ = -1;
     RegistryStats stats_;
 };
 

@@ -138,6 +138,41 @@ TEST_F(TypeRegTest, DriverResolvesItsOwnIds)
     EXPECT_DEATH(driver.nameForId(99999), "unknown type id");
 }
 
+TEST_F(TypeRegTest, MaxAssignedIdTracksDenseDriverIds)
+{
+    TypeRegistryDriver driver(net_, 0, *driverKt_);
+    EXPECT_EQ(driver.maxAssignedId(), -1);
+    std::int32_t a = driver.idForClass("app.Record");
+    EXPECT_EQ(driver.maxAssignedId(), a);
+    std::int32_t b = driver.idForClass("app.Extra");
+    EXPECT_EQ(driver.maxAssignedId(), b);
+    EXPECT_EQ(driver.maxAssignedId(),
+              static_cast<std::int32_t>(driver.size()) - 1);
+}
+
+TEST_F(TypeRegTest, MaxAssignedIdGrowsWithStaleViewLookups)
+{
+    // The worker's view may be sparse: ids assigned after the view
+    // pull arrive out of order through lookups and reverse lookups,
+    // and maxAssignedId must track the high-water mark — receivers
+    // pre-size their tid caches from it.
+    driverKt_->load("app.Record");
+    TypeRegistryDriver driver(net_, 0, *driverKt_);
+    TypeRegistryWorker worker(net_, 1, 0, *workerKtA_);
+    EXPECT_EQ(worker.maxAssignedId(), driver.maxAssignedId());
+
+    // Another worker registers new classes the first view missed.
+    TypeRegistryWorker late(net_, 2, 0, *workerKtB_);
+    workerKtB_->load("app.Extra");
+    std::int32_t lateId = workerKtB_->load("app.Late")->tid();
+    EXPECT_LT(worker.maxAssignedId(), lateId) << "view is stale";
+
+    // A reverse lookup on the stale view raises the high-water mark.
+    EXPECT_EQ(worker.nameForId(lateId), "app.Late");
+    EXPECT_EQ(worker.maxAssignedId(), lateId);
+    EXPECT_EQ(driver.maxAssignedId(), lateId);
+}
+
 TEST_F(TypeRegTest, ViewEncodingRoundTrips)
 {
     driverKt_->load("app.Record");
