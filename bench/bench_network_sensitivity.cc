@@ -9,6 +9,14 @@
  * crossover sits at a faster link. This bench sweeps the link model
  * from 1 GbE to InfiniBand-class and reports total job time per
  * serializer — the crossover is the point of the experiment.
+ *
+ * `--transport=model|tcp` selects the fabric implementation for the
+ * sweep. The fabric byte/message counters are charged by
+ * ClusterNetwork independent of the transport, so the
+ * `fabric_bytes`/`fabric_msgs` row values are deterministic and
+ * transport-invariant — the parity phase at the end re-runs the 1GbE
+ * column on the *other* transport and fails the bench if any
+ * per-node counter differs by a single byte or message.
  */
 
 #include "bench/benchutil.hh"
@@ -16,10 +24,52 @@
 
 using namespace skyway;
 
+namespace
+{
+
+/** Per-node fabric accounting after one run. */
+struct FabricCount
+{
+    std::vector<std::uint64_t> bytes;
+    std::vector<std::uint64_t> msgs;
+
+    std::uint64_t
+    totalBytes() const
+    {
+        std::uint64_t t = 0;
+        for (std::uint64_t b : bytes)
+            t += b;
+        return t;
+    }
+
+    std::uint64_t
+    totalMsgs() const
+    {
+        std::uint64_t t = 0;
+        for (std::uint64_t m : msgs)
+            t += m;
+        return t;
+    }
+};
+
+FabricCount
+countFabric(ClusterNetwork &net)
+{
+    FabricCount c;
+    for (int s = 0; s < net.nodeCount(); ++s) {
+        c.bytes.push_back(net.totalBytesSent(s));
+        c.msgs.push_back(net.messagesSent(s));
+    }
+    return c;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     double scale = bench::parseScale(argc, argv, 0.15);
+    TransportKind transport = bench::parseTransport(argc, argv);
     bench::JsonReport report(argc, argv,
                              "bench_network_sensitivity", scale);
     ClassCatalog cat = bench::fullCatalog();
@@ -39,8 +89,12 @@ main(int argc, char **argv)
 
     bench::printHeader(
         "Network sensitivity: PageRank/LJ total time (ms/worker)");
+    std::printf("transport: %s\n", transportKindName(transport));
     std::printf("%-10s %10s %10s %10s %12s\n", "link", "java",
                 "kryo", "skyway", "winner");
+
+    // The 1GbE column's fabric counters, kept for the parity phase.
+    std::vector<FabricCount> firstLink;
 
     for (const Link &link : links) {
         double totals[3];
@@ -51,10 +105,19 @@ main(int argc, char **argv)
             bench::SparkSetup setup = bench::makeSparkSetup(which);
             SparkConfig cfg;
             cfg.network = link.model;
+            cfg.transport = transport;
             auto cluster = bench::makeCluster(cat, setup, cfg);
             SparkAppResult res = runPageRank(*cluster, g, 5);
             totals[i] = res.average.totalNs() / 1e6;
             row.value("total_ms", totals[i]);
+
+            FabricCount fc = countFabric(cluster->net());
+            row.value("fabric_bytes",
+                      static_cast<double>(fc.totalBytes()));
+            row.value("fabric_msgs",
+                      static_cast<double>(fc.totalMsgs()));
+            if (&link == &links[0])
+                firstLink.push_back(std::move(fc));
             ++i;
         }
         const char *winner =
@@ -64,6 +127,44 @@ main(int argc, char **argv)
         std::printf("%-10s %10.1f %10.1f %10.1f %12s\n", link.name,
                     totals[0], totals[1], totals[2], winner);
     }
+
+    // Parity phase: the same workload on the other transport must
+    // account identically, per node, byte for byte.
+    TransportKind other = transport == TransportKind::Tcp
+                              ? TransportKind::Model
+                              : TransportKind::Tcp;
+    bench::printHeader("Transport parity: 1GbE column re-run");
+    std::printf("%-10s %16s %12s %8s\n", "serializer", "fabric_bytes",
+                "fabric_msgs", "parity");
+    int i = 0;
+    for (const std::string which : {"java", "kryo", "skyway"}) {
+        auto row = report.row(std::string("parity/") + which);
+        bench::SparkSetup setup = bench::makeSparkSetup(which);
+        SparkConfig cfg;
+        cfg.network = links[0].model;
+        cfg.transport = other;
+        auto cluster = bench::makeCluster(cat, setup, cfg);
+        (void)runPageRank(*cluster, g, 5);
+        FabricCount fc = countFabric(cluster->net());
+        const FabricCount &want = firstLink[i];
+        if (fc.bytes != want.bytes || fc.msgs != want.msgs) {
+            fatal("transport parity violated for " + which + ": " +
+                  transportKindName(transport) + " sent " +
+                  std::to_string(want.totalBytes()) + " B / " +
+                  std::to_string(want.totalMsgs()) + " msgs, " +
+                  transportKindName(other) + " sent " +
+                  std::to_string(fc.totalBytes()) + " B / " +
+                  std::to_string(fc.totalMsgs()) + " msgs");
+        }
+        row.value("fabric_bytes", static_cast<double>(fc.totalBytes()));
+        row.value("fabric_msgs", static_cast<double>(fc.totalMsgs()));
+        std::printf("%-10s %16llu %12llu %8s\n", which.c_str(),
+                    static_cast<unsigned long long>(fc.totalBytes()),
+                    static_cast<unsigned long long>(fc.totalMsgs()),
+                    "ok");
+        ++i;
+    }
+
     std::printf("\n(the S/D savings are network-independent; the "
                 "byte premium shrinks with bandwidth — the paper's "
                 "'bottlenecks are shifting from I/O to computing' "

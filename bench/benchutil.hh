@@ -47,6 +47,34 @@ parseScale(int argc, char **argv, double def)
     return def;
 }
 
+/**
+ * Transport knob: `--transport=model|tcp` on the command line or the
+ * SKYWAY_BENCH_TRANSPORT environment variable. Accounting is
+ * transport-independent, so the deterministic byte counters a bench
+ * reports must not change with this flag — bench_network_sensitivity
+ * asserts exactly that.
+ */
+inline TransportKind
+parseTransport(int argc, char **argv)
+{
+    std::string name;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--transport=", 12) == 0)
+            name = argv[i] + 12;
+    }
+    if (name.empty()) {
+        if (const char *env = std::getenv("SKYWAY_BENCH_TRANSPORT"))
+            name = env;
+    }
+    if (name.empty())
+        return TransportKind::Model;
+    auto kind = parseTransportKind(name);
+    if (!kind)
+        fatal("parseTransport: unknown transport '" + name +
+              "' (expected model or tcp)");
+    return *kind;
+}
+
 /** Catalog with every application class the benches use. */
 inline ClassCatalog
 fullCatalog()

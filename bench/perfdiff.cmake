@@ -2,13 +2,21 @@
 # baseline's scale with --json, then diff the deterministic counters
 # against the committed baseline with tools/perf_diff.py. Invoked as
 #   cmake -DBENCH=... -DARGS=... -DOUT=... -DBASELINE=...
-#         -DDIFF=tools/perf_diff.py -DPYTHON=... -P perfdiff.cmake
+#         -DDIFF=tools/perf_diff.py -DPYTHON=... [-DKEYS=REGEX]
+#         -P perfdiff.cmake
+# KEYS overrides perf_diff.py's default key allowlist for benches
+# whose deterministic counters live under other names.
 
 foreach(var BENCH OUT BASELINE DIFF PYTHON)
     if(NOT DEFINED ${var})
         message(FATAL_ERROR "perfdiff.cmake: ${var} required")
     endif()
 endforeach()
+
+set(diff_opts "")
+if(DEFINED KEYS)
+    list(APPEND diff_opts "--keys=${KEYS}")
+endif()
 
 execute_process(
     COMMAND ${BENCH} ${ARGS} --json=${OUT}
@@ -20,7 +28,7 @@ if(NOT bench_rc EQUAL 0)
 endif()
 
 execute_process(
-    COMMAND ${PYTHON} ${DIFF} ${BASELINE} ${OUT}
+    COMMAND ${PYTHON} ${DIFF} ${diff_opts} ${BASELINE} ${OUT}
     RESULT_VARIABLE diff_rc)
 if(NOT diff_rc EQUAL 0)
     message(FATAL_ERROR

@@ -10,7 +10,8 @@ FlinkCluster::FlinkCluster(const ClassCatalog &catalog,
     : config_(config),
       mode_(mode),
       net_(std::make_unique<ClusterNetwork>(config.numWorkers + 1,
-                                            config.network)),
+                                            config.network,
+                                            config.transport)),
       breakdowns_(config.numWorkers)
 {
     nodes_.push_back(
@@ -304,17 +305,29 @@ FlinkShuffle::read(int dst)
         if (counts_[src][dst] == 0)
             continue;
         SimDisk &src_disk = cluster_.worker(src).disk();
-        const auto &bytes = src_disk.file(fileName(src, dst));
-        b.readIoNs += src_disk.chargeRead(bytes.size());
+        const auto &file = src_disk.file(fileName(src, dst));
+        b.readIoNs += src_disk.chargeRead(file.size());
+        std::vector<std::uint8_t> fetched;
+        const std::vector<std::uint8_t> *bytes = &file;
         if (src != dst) {
             b.readIoNs +=
-                cluster_.net().model().transferNs(bytes.size());
-            b.bytesRemote += bytes.size();
+                cluster_.net().model().transferNs(file.size());
+            b.bytesRemote += file.size();
+            // The partition crosses the fabric for real (an actual
+            // socket on the tcp transport).
+            cluster_.net().send(src + 1, dst + 1, flinkmsg::shuffle,
+                                file);
+            NetMessage msg;
+            while (!cluster_.net().pollTag(dst + 1, flinkmsg::shuffle,
+                                           msg)) {
+            }
+            fetched = std::move(msg.payload);
+            bytes = &fetched;
         } else {
-            b.bytesLocal += bytes.size();
+            b.bytesLocal += file.size();
         }
 
-        ByteSource in(bytes);
+        ByteSource in(*bytes);
         ScopedTimer timer(b.deserNs);
         if (use_skyway) {
             SkywaySerializer &des = cluster_.skywaySerializer(dst);

@@ -41,7 +41,15 @@ struct FlinkConfig
     HeapConfig workerHeap{};
     NetworkCostModel network = gigabitEthernet();
     DiskCostModel disk{};
+    /** Which transport carries remote shuffle partitions. */
+    TransportKind transport = TransportKind::Model;
 };
+
+/** Fabric tag for miniflink shuffle traffic. */
+namespace flinkmsg
+{
+constexpr int shuffle = 211;
+} // namespace flinkmsg
 
 class FlinkCluster
 {

@@ -12,7 +12,8 @@ SparkCluster::SparkCluster(const ClassCatalog &catalog,
     : config_(config),
       factory_(serializer_factory),
       net_(std::make_unique<ClusterNetwork>(config.numWorkers + 1,
-                                            config.network)),
+                                            config.network,
+                                            config.transport)),
       serializers_(config.numWorkers),
       breakdowns_(config.numWorkers)
 {
@@ -186,21 +187,34 @@ ShuffleRound::read(int dst)
         if (counts_[src][dst] == 0)
             continue;
         SimDisk &src_disk = cluster_.worker(src).disk();
-        const auto &bytes = src_disk.file(fileName(src, dst));
+        const auto &file = src_disk.file(fileName(src, dst));
 
         // Fetch: local partitions cost a disk read; remote ones add
         // the wire (network time folds into read I/O, Figure 3).
-        b.readIoNs += src_disk.chargeRead(bytes.size());
+        b.readIoNs += src_disk.chargeRead(file.size());
+        std::vector<std::uint8_t> fetched;
+        const std::vector<std::uint8_t> *bytes = &file;
         if (src != dst) {
             b.readIoNs +=
-                cluster_.net().model().transferNs(bytes.size());
-            b.bytesRemote += bytes.size();
+                cluster_.net().model().transferNs(file.size());
+            b.bytesRemote += file.size();
+            // The partition crosses the fabric for real: the source
+            // worker pushes, the destination polls it in (over an
+            // actual socket on the tcp transport).
+            cluster_.net().send(src + 1, dst + 1, sparkmsg::shuffle,
+                                file);
+            NetMessage msg;
+            while (!cluster_.net().pollTag(dst + 1, sparkmsg::shuffle,
+                                           msg)) {
+            }
+            fetched = std::move(msg.payload);
+            bytes = &fetched;
         } else {
-            b.bytesLocal += bytes.size();
+            b.bytesLocal += file.size();
         }
 
         // Deserialization: measured.
-        ByteSource in(bytes);
+        ByteSource in(*bytes);
         ScopedTimer timer(b.deserNs);
         for (std::uint64_t i = 0; i < counts_[src][dst]; ++i)
             out->push(des.readObject(in));
@@ -224,9 +238,14 @@ ClosureBroadcast::ClosureBroadcast(SparkCluster &cluster, Address root)
         // Driver -> worker wire time lands on the worker's read side.
         b.readIoNs += cluster.net().model().transferNs(bytes_);
         b.bytesRemote += bytes_;
+        // Each copy of the closure crosses the fabric for real.
+        cluster.net().send(0, w + 1, sparkmsg::closure, sink.bytes());
+        NetMessage msg;
+        while (!cluster.net().pollTag(w + 1, sparkmsg::closure, msg)) {
+        }
 
         JavaSerializer des(SdEnv{jvm.heap(), jvm.klasses()});
-        ByteSource src(sink.bytes());
+        ByteSource src(msg.payload);
         auto roots = std::make_unique<LocalRoots>(jvm.heap());
         {
             ScopedTimer timer(b.deserNs);
@@ -292,8 +311,14 @@ CollectAction::collect()
         b.readIoNs +=
             cluster_.net().model().transferNs(sink.bytesWritten());
         b.bytesRemote += sink.bytesWritten();
+        // Task results travel worker -> driver over the fabric.
+        cluster_.net().send(w + 1, 0, sparkmsg::collect,
+                            sink.takeBytes());
+        NetMessage msg;
+        while (!cluster_.net().pollTag(0, sparkmsg::collect, msg)) {
+        }
 
-        ByteSource in(sink.bytes());
+        ByteSource in(msg.payload);
         for (std::size_t i = 0; i < srcRoots_[w]->size(); ++i)
             out->push(des.readObject(in));
         srcRoots_[w]->clear();

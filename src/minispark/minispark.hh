@@ -37,7 +37,18 @@ struct SparkConfig
     HeapConfig workerHeap{};
     NetworkCostModel network = gigabitEthernet();
     DiskCostModel disk{};
+    /** Which transport carries fabric traffic (remote shuffle
+     *  partitions, closure broadcasts, collected results). */
+    TransportKind transport = TransportKind::Model;
 };
+
+/** Fabric tags for minispark traffic (registry tags are 101-103). */
+namespace sparkmsg
+{
+constexpr int shuffle = 201;
+constexpr int closure = 202;
+constexpr int collect = 203;
+} // namespace sparkmsg
 
 /**
  * A Spark-like cluster: node 0 is the driver, nodes 1..N are workers.

@@ -1,7 +1,5 @@
 #include "net/cluster.hh"
 
-#include <cstring>
-
 #include "obs/metrics.hh"
 
 namespace skyway
@@ -39,17 +37,20 @@ struct NetMetrics
 
 } // namespace
 
-ClusterNetwork::ClusterNetwork(int node_count, NetworkCostModel model)
+ClusterNetwork::ClusterNetwork(int node_count, NetworkCostModel model,
+                               TransportKind transport)
     : nodeCount_(node_count),
       model_(model),
-      mailboxes_(node_count),
-      handlers_(node_count),
-      wireNs_(node_count, 0),
-      bytes_(static_cast<std::size_t>(node_count) * node_count, 0),
-      msgs_(node_count, 0)
+      kind_(transport),
+      wireNs_(node_count),
+      bytes_(static_cast<std::size_t>(node_count) * node_count),
+      msgs_(node_count)
 {
     panicIf(node_count <= 0, "ClusterNetwork: need at least one node");
+    transport_ = makeTransport(kind_, node_count, wire_);
 }
+
+ClusterNetwork::~ClusterNetwork() = default;
 
 void
 ClusterNetwork::charge(NodeId src, NodeId dst, std::size_t bytes)
@@ -57,9 +58,10 @@ ClusterNetwork::charge(NodeId src, NodeId dst, std::size_t bytes)
     if (src == dst)
         return; // loopback is free and not counted as remote bytes
     std::uint64_t ns = model_.transferNs(bytes);
-    wireNs_[src] += ns;
-    bytes_[src * nodeCount_ + dst] += bytes;
-    ++msgs_[src];
+    wireNs_[src].fetch_add(ns, std::memory_order_relaxed);
+    bytes_[src * nodeCount_ + dst].fetch_add(bytes,
+                                             std::memory_order_relaxed);
+    msgs_[src].fetch_add(1, std::memory_order_relaxed);
 
     NetMetrics &m = NetMetrics::get();
     m.bytesSent.add(bytes);
@@ -72,86 +74,50 @@ void
 ClusterNetwork::send(NodeId src, NodeId dst, int tag,
                      std::vector<std::uint8_t> payload)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     panicIf(dst < 0 || dst >= nodeCount_, "send: bad destination");
     charge(src, dst, payload.size());
-    mailboxes_[dst].push_back(NetMessage{src, dst, tag,
-                                         std::move(payload)});
+    transport_->send(src, dst, tag, std::move(payload));
 }
 
 bool
 ClusterNetwork::poll(NodeId dst, NetMessage &out)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto &box = mailboxes_[dst];
-    if (box.empty())
-        return false;
-    out = std::move(box.front());
-    box.pop_front();
-    return true;
+    return transport_->poll(dst, out);
 }
 
 bool
 ClusterNetwork::pollTag(NodeId dst, int tag, NetMessage &out)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto &box = mailboxes_[dst];
-    for (auto it = box.begin(); it != box.end(); ++it) {
-        if (it->tag == tag) {
-            out = std::move(*it);
-            box.erase(it);
-            return true;
-        }
-    }
-    return false;
+    return transport_->pollTag(dst, tag, out);
 }
 
 std::ptrdiff_t
 ClusterNetwork::pollTagInto(NodeId dst, int tag,
                             const ReserveFn &reserve)
 {
-    NetMessage msg;
-    // Dequeue under the mailbox lock, then deliver outside it: the
-    // reserve callback may allocate heap chunks and the copy-out may
-    // be large; neither should stall concurrent senders.
-    if (!pollTag(dst, tag, msg))
-        return -1;
-    if (msg.payload.empty())
-        return 0;
-    std::uint8_t *to = reserve(msg.payload.size());
-    panicIf(to == nullptr, "pollTagInto: reserve returned null");
-    std::memcpy(to, msg.payload.data(), msg.payload.size());
-    return static_cast<std::ptrdiff_t>(msg.payload.size());
+    return transport_->pollTagInto(dst, tag, reserve);
 }
 
 void
 ClusterNetwork::registerHandler(NodeId node, RequestHandler handler)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    handlers_[node] = std::move(handler);
+    transport_->registerHandler(node, std::move(handler));
 }
 
 std::vector<std::uint8_t>
 ClusterNetwork::request(NodeId src, NodeId dst, int tag,
-                        const std::vector<std::uint8_t> &payload)
+                        const std::vector<std::uint8_t> &payload,
+                        const RequestOptions &opts)
 {
-    RequestHandler handler;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        handler = handlers_[dst];
-        charge(src, dst, payload.size());
-    }
-    panicIf(!handler, "request: node has no registered handler");
+    charge(src, dst, payload.size());
     NetMetrics::get().requests.inc();
-    std::vector<std::uint8_t> reply = handler(src, tag, payload);
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        // The requester blocks for the reply as well.
-        if (src != dst) {
-            std::uint64_t ns = model_.transferNs(reply.size());
-            wireNs_[src] += ns;
-            NetMetrics::get().wireNs.add(ns);
-        }
+    std::vector<std::uint8_t> reply =
+        transport_->request(src, dst, tag, payload, opts);
+    // The requester blocks for the reply as well.
+    if (src != dst) {
+        std::uint64_t ns = model_.transferNs(reply.size());
+        wireNs_[src].fetch_add(ns, std::memory_order_relaxed);
+        NetMetrics::get().wireNs.add(ns);
     }
     return reply;
 }
@@ -159,20 +125,23 @@ ClusterNetwork::request(NodeId src, NodeId dst, int tag,
 std::uint64_t
 ClusterNetwork::totalBytesSent(NodeId src) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     std::uint64_t total = 0;
     for (int d = 0; d < nodeCount_; ++d)
-        total += bytes_[src * nodeCount_ + d];
+        total += bytes_[src * nodeCount_ + d].load(
+            std::memory_order_relaxed);
     return total;
 }
 
 void
 ClusterNetwork::resetAccounting()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    std::fill(wireNs_.begin(), wireNs_.end(), 0);
-    std::fill(bytes_.begin(), bytes_.end(), 0);
-    std::fill(msgs_.begin(), msgs_.end(), 0);
+    for (auto &v : wireNs_)
+        v.store(0, std::memory_order_relaxed);
+    for (auto &v : bytes_)
+        v.store(0, std::memory_order_relaxed);
+    for (auto &v : msgs_)
+        v.store(0, std::memory_order_relaxed);
+    wire_.reset();
 }
 
 } // namespace skyway

@@ -1,62 +1,55 @@
 /**
  * @file
- * The simulated cluster fabric: a set of numbered nodes exchanging
- * byte-payload messages over reliable in-order channels. Messages move
- * instantly in real time (everything is in-process); the wire cost is
+ * The cluster fabric: a set of numbered nodes exchanging byte-payload
+ * messages over reliable in-order channels. How the bytes move is a
+ * pluggable Transport (net/transport.hh) — in-process mailboxes on
+ * the model transport, real loopback TCP sockets on the tcp
+ * transport. Either way the *accounting* lives here: wire cost is
  * charged to per-node simulated clocks through the NetworkCostModel,
  * and per-pair byte counters feed the "remote bytes" columns of the
- * evaluation figures.
+ * evaluation figures — which is why `bytesSent`/`messagesSent` for
+ * the same workload match byte-for-byte across transports.
  */
 
 #ifndef SKYWAY_NET_CLUSTER_HH
 #define SKYWAY_NET_CLUSTER_HH
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <mutex>
+#include <memory>
 #include <vector>
 
 #include "net/costmodel.hh"
+#include "net/transport.hh"
 #include "support/logging.hh"
 
 namespace skyway
 {
 
-/** A node id within one cluster. */
-using NodeId = int;
-
-/** One in-flight message. */
-struct NetMessage
-{
-    NodeId src;
-    NodeId dst;
-    int tag;
-    std::vector<std::uint8_t> payload;
-};
-
 /**
  * The cluster fabric. Thread-safe: Skyway's multi-threaded senders may
- * push concurrently.
+ * push concurrently, and accounting reads (wireNs/bytesSent/
+ * messagesSent) are safe against concurrent senders — the counters
+ * are atomics, not mutex-guarded snapshots.
  */
 class ClusterNetwork
 {
   public:
-    /**
-     * A synchronous request handler a node may register (the type
-     * registry driver's daemon thread, paper Algorithm 1 part 2).
-     * Receives the request payload, returns the reply payload.
-     */
-    using RequestHandler =
-        std::function<std::vector<std::uint8_t>(NodeId src, int tag,
-                                                const std::vector<
-                                                    std::uint8_t> &)>;
+    using RequestHandler = Transport::RequestHandler;
+    using ReserveFn = Transport::ReserveFn;
 
     explicit ClusterNetwork(int node_count,
-                            NetworkCostModel model = gigabitEthernet());
+                            NetworkCostModel model = gigabitEthernet(),
+                            TransportKind transport =
+                                TransportKind::Model);
+    ~ClusterNetwork();
 
     int nodeCount() const { return nodeCount_; }
     const NetworkCostModel &model() const { return model_; }
+
+    /** Which transport implementation carries the bytes. */
+    TransportKind transportKind() const { return kind_; }
+    const char *transportName() const { return transport_->name(); }
 
     /** Enqueue a one-way message; charges wire time to the sender. */
     void send(NodeId src, NodeId dst, int tag,
@@ -64,7 +57,7 @@ class ClusterNetwork
 
     /**
      * Dequeue the next message addressed to @p dst (any source/tag);
-     * returns false when the mailbox is empty.
+     * returns false when nothing has arrived yet.
      */
     bool poll(NodeId dst, NetMessage &out);
 
@@ -75,20 +68,12 @@ class ClusterNetwork
     bool pollTag(NodeId dst, int tag, NetMessage &out);
 
     /**
-     * Returns destination storage for an incoming payload of the
-     * given size — how a receiver posts a buffer for the fabric to
-     * deliver into (Skyway input buffers hand out old-gen chunk
-     * space).
-     */
-    using ReserveFn = std::function<std::uint8_t *(std::size_t)>;
-
-    /**
      * Like pollTag, but delivers the payload *into caller-posted
-     * storage*: the fabric asks @p reserve for a destination of the
-     * payload's size and moves the bytes straight there — the modeled
-     * equivalent of a NIC DMA-ing into a posted receive buffer (a
-     * real socket transport would recv() into it directly). The
-     * receiver-side staging copy is gone.
+     * storage*: the transport asks @p reserve for a destination of
+     * the payload's size and moves the bytes straight there — a
+     * modeled NIC DMA on the model transport, a literal recv() into
+     * the posted buffer on the tcp transport. The receiver-side
+     * staging copy is gone either way.
      *
      * Returns the payload size, 0 for an empty (end-of-stream)
      * payload — @p reserve is not called — or -1 when no message with
@@ -101,32 +86,68 @@ class ClusterNetwork
     void registerHandler(NodeId node, RequestHandler handler);
 
     /**
-     * Synchronous request/reply (models a blocking socket round trip).
+     * Synchronous request/reply (a blocking socket round trip).
      * Charges request wire time to @p src and reply wire time to
-     * @p src as well — the requester blocks for the full RTT.
+     * @p src as well — the requester blocks for the full RTT. On the
+     * tcp transport @p opts bounds the wait: the request is resent
+     * after @p opts.timeoutMs up to @p opts.maxRetries times.
      */
     std::vector<std::uint8_t> request(NodeId src, NodeId dst, int tag,
                                       const std::vector<std::uint8_t> &
-                                          payload);
+                                          payload,
+                                      const RequestOptions &opts = {});
 
     /// @name Accounting
     /// @{
 
     /** Simulated send-side wire nanoseconds charged to @p node. */
-    std::uint64_t wireNs(NodeId node) const { return wireNs_[node]; }
+    std::uint64_t
+    wireNs(NodeId node) const
+    {
+        return wireNs_[node].load(std::memory_order_relaxed);
+    }
 
     /** Bytes @p src has pushed toward @p dst. */
     std::uint64_t
     bytesSent(NodeId src, NodeId dst) const
     {
-        return bytes_[src * nodeCount_ + dst];
+        return bytes_[src * nodeCount_ + dst].load(
+            std::memory_order_relaxed);
     }
 
     /** Total bytes sent by @p src to any remote node. */
     std::uint64_t totalBytesSent(NodeId src) const;
 
     /** Total message count from @p src. */
-    std::uint64_t messagesSent(NodeId src) const { return msgs_[src]; }
+    std::uint64_t
+    messagesSent(NodeId src) const
+    {
+        return msgs_[src].load(std::memory_order_relaxed);
+    }
+
+    /// @name Real-wire counters (all zero on the model transport)
+    /// @{
+    std::uint64_t
+    framesSent() const
+    {
+        return wire_.framesSent.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    connectRetries() const
+    {
+        return wire_.connectRetries.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    recvIntoBytes() const
+    {
+        return wire_.recvIntoBytes.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    realWireNs() const
+    {
+        return wire_.realWireNs.load(std::memory_order_relaxed);
+    }
+    /// @}
 
     void resetAccounting();
 
@@ -137,12 +158,12 @@ class ClusterNetwork
 
     int nodeCount_;
     NetworkCostModel model_;
-    mutable std::mutex mutex_;
-    std::vector<std::deque<NetMessage>> mailboxes_;
-    std::vector<RequestHandler> handlers_;
-    std::vector<std::uint64_t> wireNs_;
-    std::vector<std::uint64_t> bytes_;
-    std::vector<std::uint64_t> msgs_;
+    TransportKind kind_;
+    WireCounters wire_;
+    std::unique_ptr<Transport> transport_;
+    std::vector<std::atomic<std::uint64_t>> wireNs_;
+    std::vector<std::atomic<std::uint64_t>> bytes_;
+    std::vector<std::atomic<std::uint64_t>> msgs_;
 };
 
 } // namespace skyway

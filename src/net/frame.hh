@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Wire framing for the TCP transport. Everything on a socket is
+ * little-endian fixed-width fields (both ends are the same loopback
+ * host; no varints on this path — headers must be parseable with a
+ * fixed-size read).
+ *
+ * Connection handshake (sent once by the connecting side):
+ *
+ *     u32 magic 'SKYW' | u8 channel (0 = data, 1 = control)
+ *     | i32 src node id | i32 tag (data channel; 0 on control)
+ *
+ * The data plane opens one connection per (src, dst, tag) stream —
+ * the socket-per-fetch-stream shape real shuffle services use — so a
+ * consumer draining one tag never has to read (and stage) another
+ * stream's bytes, which is what keeps the receive path zero-copy.
+ *
+ * Data frame:    i32 src | i32 tag | u32 len | len payload bytes
+ *                (len == 0 is the end-of-stream marker).
+ * Control frame: u8 kind (2 = request, 3 = reply) | i32 src
+ *                | i32 tag | u32 reqId | u32 len | payload.
+ *                reqId lets a requester that timed out and resent
+ *                discard the stale earlier reply.
+ */
+
+#ifndef SKYWAY_NET_FRAME_HH
+#define SKYWAY_NET_FRAME_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace skyway
+{
+namespace frame
+{
+
+constexpr std::uint32_t handshakeMagic = 0x534B5957; // "SKYW"
+
+constexpr std::uint8_t channelData = 0;
+constexpr std::uint8_t channelControl = 1;
+
+constexpr std::uint8_t kindRequest = 2;
+constexpr std::uint8_t kindReply = 3;
+
+constexpr std::size_t handshakeBytes = 4 + 1 + 4 + 4;
+constexpr std::size_t dataHeaderBytes = 4 + 4 + 4;
+constexpr std::size_t controlHeaderBytes = 1 + 4 + 4 + 4 + 4;
+
+inline void
+putU32(std::uint8_t *p, std::uint32_t v)
+{
+    std::memcpy(p, &v, 4);
+}
+
+inline std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+inline void
+putI32(std::uint8_t *p, std::int32_t v)
+{
+    std::memcpy(p, &v, 4);
+}
+
+inline std::int32_t
+getI32(const std::uint8_t *p)
+{
+    std::int32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+struct Handshake
+{
+    std::uint8_t channel;
+    std::int32_t src;
+    std::int32_t tag;
+};
+
+inline void
+encodeHandshake(std::uint8_t (&buf)[handshakeBytes], const Handshake &h)
+{
+    putU32(buf, handshakeMagic);
+    buf[4] = h.channel;
+    putI32(buf + 5, h.src);
+    putI32(buf + 9, h.tag);
+}
+
+/** False when the magic does not match (not a Skyway peer). */
+inline bool
+decodeHandshake(const std::uint8_t (&buf)[handshakeBytes], Handshake &h)
+{
+    if (getU32(buf) != handshakeMagic)
+        return false;
+    h.channel = buf[4];
+    h.src = getI32(buf + 5);
+    h.tag = getI32(buf + 9);
+    return true;
+}
+
+struct DataHeader
+{
+    std::int32_t src;
+    std::int32_t tag;
+    std::uint32_t len;
+};
+
+inline void
+encodeDataHeader(std::uint8_t (&buf)[dataHeaderBytes],
+                 const DataHeader &h)
+{
+    putI32(buf, h.src);
+    putI32(buf + 4, h.tag);
+    putU32(buf + 8, h.len);
+}
+
+inline DataHeader
+decodeDataHeader(const std::uint8_t (&buf)[dataHeaderBytes])
+{
+    return DataHeader{getI32(buf), getI32(buf + 4), getU32(buf + 8)};
+}
+
+struct ControlHeader
+{
+    std::uint8_t kind;
+    std::int32_t src;
+    std::int32_t tag;
+    std::uint32_t reqId;
+    std::uint32_t len;
+};
+
+inline void
+encodeControlHeader(std::uint8_t (&buf)[controlHeaderBytes],
+                    const ControlHeader &h)
+{
+    buf[0] = h.kind;
+    putI32(buf + 1, h.src);
+    putI32(buf + 5, h.tag);
+    putU32(buf + 9, h.reqId);
+    putU32(buf + 13, h.len);
+}
+
+inline ControlHeader
+decodeControlHeader(const std::uint8_t (&buf)[controlHeaderBytes])
+{
+    return ControlHeader{buf[0], getI32(buf + 1), getI32(buf + 5),
+                         getU32(buf + 9), getU32(buf + 13)};
+}
+
+} // namespace frame
+} // namespace skyway
+
+#endif // SKYWAY_NET_FRAME_HH

@@ -1,0 +1,92 @@
+#include "net/model_transport.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace skyway
+{
+
+ModelTransport::ModelTransport(int node_count)
+    : mailboxes_(node_count), handlers_(node_count)
+{
+}
+
+void
+ModelTransport::send(NodeId src, NodeId dst, int tag,
+                     std::vector<std::uint8_t> payload)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    mailboxes_[dst].push_back(NetMessage{src, dst, tag,
+                                         std::move(payload)});
+}
+
+bool
+ModelTransport::poll(NodeId dst, NetMessage &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &box = mailboxes_[dst];
+    if (box.empty())
+        return false;
+    out = std::move(box.front());
+    box.pop_front();
+    return true;
+}
+
+bool
+ModelTransport::pollTag(NodeId dst, int tag, NetMessage &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &box = mailboxes_[dst];
+    for (auto it = box.begin(); it != box.end(); ++it) {
+        if (it->tag == tag) {
+            out = std::move(*it);
+            box.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::ptrdiff_t
+ModelTransport::pollTagInto(NodeId dst, int tag,
+                            const ReserveFn &reserve)
+{
+    NetMessage msg;
+    // Dequeue under the mailbox lock, then deliver outside it: the
+    // reserve callback may allocate heap chunks and the copy-out may
+    // be large; neither should stall concurrent senders.
+    if (!pollTag(dst, tag, msg))
+        return -1;
+    if (msg.payload.empty())
+        return 0;
+    std::uint8_t *to = reserve(msg.payload.size());
+    panicIf(to == nullptr, "pollTagInto: reserve returned null");
+    std::memcpy(to, msg.payload.data(), msg.payload.size());
+    return static_cast<std::ptrdiff_t>(msg.payload.size());
+}
+
+void
+ModelTransport::registerHandler(NodeId node, RequestHandler handler)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    handlers_[node] = std::move(handler);
+}
+
+std::vector<std::uint8_t>
+ModelTransport::request(NodeId src, NodeId dst, int tag,
+                        const std::vector<std::uint8_t> &payload,
+                        const RequestOptions &)
+{
+    RequestHandler handler;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        handler = handlers_[dst];
+    }
+    panicIf(!handler, "request: node has no registered handler");
+    // Synchronous: the handler runs on the requester's thread; the
+    // round trip cannot time out, so RequestOptions is ignored.
+    return handler(src, tag, payload);
+}
+
+} // namespace skyway

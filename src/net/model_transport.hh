@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The in-process transport: per-node mailboxes behind one mutex.
+ * Messages "arrive" the moment send() returns; wire cost exists only
+ * on the simulated clocks ClusterNetwork charges. This is the exact
+ * fabric the repository grew up on, extracted unchanged from
+ * ClusterNetwork when the transport became pluggable.
+ */
+
+#ifndef SKYWAY_NET_MODEL_TRANSPORT_HH
+#define SKYWAY_NET_MODEL_TRANSPORT_HH
+
+#include <deque>
+#include <mutex>
+
+#include "net/transport.hh"
+
+namespace skyway
+{
+
+class ModelTransport final : public Transport
+{
+  public:
+    explicit ModelTransport(int node_count);
+
+    const char *name() const override { return "model"; }
+
+    void send(NodeId src, NodeId dst, int tag,
+              std::vector<std::uint8_t> payload) override;
+    bool poll(NodeId dst, NetMessage &out) override;
+    bool pollTag(NodeId dst, int tag, NetMessage &out) override;
+    std::ptrdiff_t pollTagInto(NodeId dst, int tag,
+                               const ReserveFn &reserve) override;
+    void registerHandler(NodeId node, RequestHandler handler) override;
+    std::vector<std::uint8_t>
+    request(NodeId src, NodeId dst, int tag,
+            const std::vector<std::uint8_t> &payload,
+            const RequestOptions &opts) override;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<std::deque<NetMessage>> mailboxes_;
+    std::vector<RequestHandler> handlers_;
+};
+
+} // namespace skyway
+
+#endif // SKYWAY_NET_MODEL_TRANSPORT_HH

@@ -1,0 +1,651 @@
+#include "net/tcp_transport.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+
+#include "net/frame.hh"
+#include "obs/metrics.hh"
+#include "support/logging.hh"
+#include "support/stopwatch.hh"
+
+namespace skyway
+{
+
+namespace
+{
+
+/** Registry-backed real-wire counters, resolved once per process. */
+struct TcpMetrics
+{
+    obs::Counter &realWireNs;
+    obs::Counter &framesSent;
+    obs::Counter &connectRetries;
+    obs::Counter &recvIntoBytes;
+
+    static TcpMetrics &
+    get()
+    {
+        auto &r = obs::MetricsRegistry::global();
+        static TcpMetrics m{
+            r.counter("net.real_wire_ns"),
+            r.counter("net.frames_sent"),
+            r.counter("net.connect_retries"),
+            r.counter("net.recv_into_bytes"),
+        };
+        return m;
+    }
+};
+
+/** How long the pump sleeps in poll() when nothing is happening. */
+constexpr int pumpPollMs = 50;
+
+/** Transient-connect retry budget (listen backlog overflow). */
+constexpr int connectAttempts = 100;
+
+[[noreturn]] void
+sysErr(const char *what)
+{
+    panic(std::string("TcpTransport: ") + what + ": " +
+          std::strerror(errno));
+}
+
+/** Read exactly @p len bytes; false on orderly EOF at a frame edge. */
+bool
+recvFully(int fd, std::uint8_t *buf, std::size_t len)
+{
+    std::size_t got = 0;
+    while (got < len) {
+        ssize_t n = ::recv(fd, buf + got, len - got, 0);
+        if (n > 0) {
+            got += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0) {
+            panicIf(got != 0, "peer closed mid-frame");
+            return false;
+        }
+        if (errno == EINTR)
+            continue;
+        sysErr("recv");
+    }
+    return true;
+}
+
+void
+sendFully(int fd, const std::uint8_t *buf, std::size_t len)
+{
+    std::size_t sent = 0;
+    while (sent < len) {
+        ssize_t n = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+        if (n >= 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        sysErr("send");
+    }
+}
+
+/** True when @p fd has bytes (or EOF) ready right now. */
+bool
+readableNow(int fd)
+{
+    pollfd p{fd, POLLIN, 0};
+    int rc = ::poll(&p, 1, 0);
+    if (rc < 0 && errno != EINTR)
+        sysErr("poll");
+    return rc > 0 && (p.revents & (POLLIN | POLLHUP | POLLERR));
+}
+
+void
+setNoDelay(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+} // namespace
+
+TcpTransport::TcpTransport(int node_count, WireCounters &wire)
+    : nodeCount_(node_count), wire_(wire), handlers_(node_count)
+{
+    TcpMetrics::get(); // registration outside any hot path
+
+    nodes_.reserve(node_count);
+    for (int i = 0; i < node_count; ++i) {
+        auto n = std::make_unique<Node>();
+
+        n->listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (n->listenFd < 0)
+            sysErr("socket");
+        int one = 1;
+        ::setsockopt(n->listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = 0; // kernel-assigned
+        if (::bind(n->listenFd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) < 0)
+            sysErr("bind");
+        socklen_t alen = sizeof(addr);
+        if (::getsockname(n->listenFd,
+                          reinterpret_cast<sockaddr *>(&addr),
+                          &alen) < 0)
+            sysErr("getsockname");
+        n->port = ntohs(addr.sin_port);
+        if (::listen(n->listenFd, 128) < 0)
+            sysErr("listen");
+
+        int pipefd[2];
+        if (::pipe(pipefd) < 0)
+            sysErr("pipe");
+        // Non-blocking read end: the pump drains the pipe dry after a
+        // wakeup without risking a block on an already-empty pipe.
+        ::fcntl(pipefd[0], F_SETFL, O_NONBLOCK);
+        n->wakeRead = pipefd[0];
+        n->wakeWrite = pipefd[1];
+
+        nodes_.push_back(std::move(n));
+    }
+
+    // Pumps start only after every listener exists: a node's first
+    // send may connect to any peer.
+    for (int i = 0; i < node_count; ++i)
+        nodes_[i]->pump = std::thread(&TcpTransport::pumpLoop, this, i);
+}
+
+TcpTransport::~TcpTransport()
+{
+    running_.store(false, std::memory_order_relaxed);
+    for (int i = 0; i < nodeCount_; ++i)
+        wakePump(i);
+    for (auto &n : nodes_) {
+        if (n->pump.joinable())
+            n->pump.join();
+    }
+    for (auto &n : nodes_) {
+        for (auto &c : n->dataConns)
+            ::close(c.fd);
+        for (auto &[key, fd] : n->dataOut)
+            ::close(fd);
+        for (auto &[dst, fd] : n->ctrlOut)
+            ::close(fd);
+        for (int fd : n->ctrlIn)
+            ::close(fd);
+        ::close(n->listenFd);
+        ::close(n->wakeRead);
+        ::close(n->wakeWrite);
+    }
+}
+
+std::uint16_t
+TcpTransport::listenPort(NodeId node) const
+{
+    return nodes_[node]->port;
+}
+
+void
+TcpTransport::wakePump(NodeId node)
+{
+    std::uint8_t b = 0;
+    ssize_t rc = ::write(nodes_[node]->wakeWrite, &b, 1);
+    (void)rc; // a full pipe already guarantees a wakeup
+}
+
+void
+TcpTransport::writeTimed(int fd, const std::uint8_t *buf,
+                         std::size_t len)
+{
+    Stopwatch sw;
+    sendFully(fd, buf, len);
+    std::uint64_t ns = sw.elapsedNs();
+    wire_.realWireNs.fetch_add(ns, std::memory_order_relaxed);
+    TcpMetrics::get().realWireNs.add(ns);
+}
+
+int
+TcpTransport::connectTo(NodeId dst, const std::uint8_t *shake,
+                        std::size_t shake_len)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(nodes_[dst]->port);
+
+    for (int attempt = 0; attempt < connectAttempts; ++attempt) {
+        if (attempt > 0) {
+            wire_.connectRetries.fetch_add(1,
+                                           std::memory_order_relaxed);
+            TcpMetrics::get().connectRetries.inc();
+            // Backlog overflow is transient: the pump accepts in
+            // bounded time.
+            struct timespec ts {0, 2'000'000}; // 2 ms
+            ::nanosleep(&ts, nullptr);
+        }
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            sysErr("socket");
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            setNoDelay(fd);
+            sendFully(fd, shake, shake_len);
+            return fd;
+        }
+        int err = errno;
+        ::close(fd);
+        if (err != ECONNREFUSED && err != EINTR && err != ETIMEDOUT &&
+            err != EAGAIN)
+            panic(std::string("TcpTransport: connect: ") +
+                  std::strerror(err));
+    }
+    panic("TcpTransport: connect retries exhausted toward node " +
+          std::to_string(dst));
+}
+
+int
+TcpTransport::dataConnFor(Node &n, NodeId src, NodeId dst, int tag)
+{
+    // Caller holds n.sendMutex.
+    auto key = std::make_pair(dst, tag);
+    auto it = n.dataOut.find(key);
+    if (it != n.dataOut.end())
+        return it->second;
+    frame::Handshake h{frame::channelData, src, tag};
+    std::uint8_t shake[frame::handshakeBytes];
+    frame::encodeHandshake(shake, h);
+    int fd = connectTo(dst, shake, sizeof(shake));
+    n.dataOut.emplace(key, fd);
+    return fd;
+}
+
+int
+TcpTransport::ctrlConnFor(Node &n, NodeId src, NodeId dst)
+{
+    // Caller holds n.ctrlMutex.
+    auto it = n.ctrlOut.find(dst);
+    if (it != n.ctrlOut.end())
+        return it->second;
+    frame::Handshake h{frame::channelControl, src, 0};
+    std::uint8_t shake[frame::handshakeBytes];
+    frame::encodeHandshake(shake, h);
+    int fd = connectTo(dst, shake, sizeof(shake));
+    n.ctrlOut.emplace(dst, fd);
+    return fd;
+}
+
+void
+TcpTransport::send(NodeId src, NodeId dst, int tag,
+                   std::vector<std::uint8_t> payload)
+{
+    Node &n = *nodes_[src];
+    if (src == dst) {
+        // Self-delivery never touches a socket (loopback-to-self is
+        // not remote traffic on any transport).
+        std::lock_guard<std::mutex> lock(n.recvMutex);
+        n.selfBox.push_back(NetMessage{src, dst, tag,
+                                       std::move(payload)});
+        return;
+    }
+
+    frame::DataHeader h{src, tag,
+                        static_cast<std::uint32_t>(payload.size())};
+    std::uint8_t hdr[frame::dataHeaderBytes];
+    frame::encodeDataHeader(hdr, h);
+    {
+        std::lock_guard<std::mutex> lock(n.sendMutex);
+        int fd = dataConnFor(n, src, dst, tag);
+        n.txQueue.push_back(Node::TxFrame{
+            fd, std::vector<std::uint8_t>(hdr, hdr + sizeof(hdr)),
+            std::move(payload)});
+    }
+    wakePump(src);
+}
+
+bool
+TcpTransport::poll(NodeId dst, NetMessage &out)
+{
+    Node &n = *nodes_[dst];
+    std::lock_guard<std::mutex> lock(n.recvMutex);
+    if (!n.selfBox.empty()) {
+        out = std::move(n.selfBox.front());
+        n.selfBox.pop_front();
+        return true;
+    }
+    for (std::size_t i = 0; i < n.dataConns.size(); ++i) {
+        DataConn &c = n.dataConns[i];
+        if (!readableNow(c.fd))
+            continue;
+        std::uint8_t hdr[frame::dataHeaderBytes];
+        if (!recvFully(c.fd, hdr, sizeof(hdr))) {
+            ::close(c.fd);
+            n.dataConns.erase(n.dataConns.begin() + i--);
+            continue;
+        }
+        frame::DataHeader h = frame::decodeDataHeader(hdr);
+        out = NetMessage{h.src, dst, h.tag, {}};
+        out.payload.resize(h.len);
+        if (h.len)
+            recvFully(c.fd, out.payload.data(), h.len);
+        return true;
+    }
+    return false;
+}
+
+bool
+TcpTransport::pollTag(NodeId dst, int tag, NetMessage &out)
+{
+    Node &n = *nodes_[dst];
+    std::lock_guard<std::mutex> lock(n.recvMutex);
+    for (auto it = n.selfBox.begin(); it != n.selfBox.end(); ++it) {
+        if (it->tag == tag) {
+            out = std::move(*it);
+            n.selfBox.erase(it);
+            return true;
+        }
+    }
+    // One connection per (src, tag) stream: frames for other tags
+    // live on other sockets, so "skip and retain" costs nothing —
+    // their bytes are simply not read yet.
+    for (std::size_t i = 0; i < n.dataConns.size(); ++i) {
+        DataConn &c = n.dataConns[i];
+        if (c.tag != tag || !readableNow(c.fd))
+            continue;
+        std::uint8_t hdr[frame::dataHeaderBytes];
+        if (!recvFully(c.fd, hdr, sizeof(hdr))) {
+            ::close(c.fd);
+            n.dataConns.erase(n.dataConns.begin() + i--);
+            continue;
+        }
+        frame::DataHeader h = frame::decodeDataHeader(hdr);
+        out = NetMessage{h.src, dst, h.tag, {}};
+        out.payload.resize(h.len);
+        if (h.len)
+            recvFully(c.fd, out.payload.data(), h.len);
+        return true;
+    }
+    return false;
+}
+
+std::ptrdiff_t
+TcpTransport::pollTagInto(NodeId dst, int tag, const ReserveFn &reserve)
+{
+    Node &n = *nodes_[dst];
+    std::lock_guard<std::mutex> lock(n.recvMutex);
+    for (auto it = n.selfBox.begin(); it != n.selfBox.end(); ++it) {
+        if (it->tag != tag)
+            continue;
+        NetMessage msg = std::move(*it);
+        n.selfBox.erase(it);
+        if (msg.payload.empty())
+            return 0;
+        std::uint8_t *to = reserve(msg.payload.size());
+        panicIf(to == nullptr, "pollTagInto: reserve returned null");
+        std::memcpy(to, msg.payload.data(), msg.payload.size());
+        return static_cast<std::ptrdiff_t>(msg.payload.size());
+    }
+    for (std::size_t i = 0; i < n.dataConns.size(); ++i) {
+        DataConn &c = n.dataConns[i];
+        if (c.tag != tag || !readableNow(c.fd))
+            continue;
+        std::uint8_t hdr[frame::dataHeaderBytes];
+        if (!recvFully(c.fd, hdr, sizeof(hdr))) {
+            ::close(c.fd);
+            n.dataConns.erase(n.dataConns.begin() + i--);
+            continue;
+        }
+        frame::DataHeader h = frame::decodeDataHeader(hdr);
+        if (h.len == 0)
+            return 0; // end-of-stream marker: reserve untouched
+        // The zero-copy handoff: recv() straight into caller-posted
+        // storage (old-gen chunk space on the Skyway receive path).
+        std::uint8_t *to = reserve(h.len);
+        panicIf(to == nullptr, "pollTagInto: reserve returned null");
+        recvFully(c.fd, to, h.len);
+        wire_.recvIntoBytes.fetch_add(h.len,
+                                      std::memory_order_relaxed);
+        TcpMetrics::get().recvIntoBytes.add(h.len);
+        return static_cast<std::ptrdiff_t>(h.len);
+    }
+    return -1;
+}
+
+void
+TcpTransport::registerHandler(NodeId node, RequestHandler handler)
+{
+    std::lock_guard<std::mutex> lock(handlerMutex_);
+    handlers_[node] = std::move(handler);
+}
+
+std::vector<std::uint8_t>
+TcpTransport::request(NodeId src, NodeId dst, int tag,
+                      const std::vector<std::uint8_t> &payload,
+                      const RequestOptions &opts)
+{
+    RequestHandler local;
+    {
+        std::lock_guard<std::mutex> lock(handlerMutex_);
+        if (src == dst)
+            local = handlers_[dst];
+    }
+    if (src == dst) {
+        panicIf(!local, "request: node has no registered handler");
+        return local(src, tag, payload);
+    }
+
+    Node &n = *nodes_[src];
+    std::mutex *pair;
+    {
+        std::lock_guard<std::mutex> lock(n.ctrlMutex);
+        auto &slot = n.ctrlPair[dst];
+        if (!slot)
+            slot = std::make_unique<std::mutex>();
+        pair = slot.get();
+    }
+    // One request in flight per (src, dst) pair: the shared control
+    // connection carries strict request/reply exchanges.
+    std::lock_guard<std::mutex> exchange(*pair);
+
+    for (int attempt = 0; attempt <= opts.maxRetries; ++attempt) {
+        if (attempt > 0) {
+            wire_.connectRetries.fetch_add(1,
+                                           std::memory_order_relaxed);
+            TcpMetrics::get().connectRetries.inc();
+        }
+        int fd;
+        std::uint32_t req_id;
+        {
+            std::lock_guard<std::mutex> lock(n.ctrlMutex);
+            fd = ctrlConnFor(n, src, dst);
+            req_id = n.nextReqId++;
+        }
+
+        frame::ControlHeader h{
+            frame::kindRequest, src, tag, req_id,
+            static_cast<std::uint32_t>(payload.size())};
+        std::uint8_t hdr[frame::controlHeaderBytes];
+        frame::encodeControlHeader(hdr, h);
+        writeTimed(fd, hdr, sizeof(hdr));
+        if (!payload.empty())
+            writeTimed(fd, payload.data(), payload.size());
+        wire_.framesSent.fetch_add(1, std::memory_order_relaxed);
+        TcpMetrics::get().framesSent.inc();
+
+        // Wait out the reply, discarding stale replies from earlier
+        // timed-out attempts by request id.
+        Stopwatch sw;
+        while (true) {
+            std::uint64_t spent_ms = sw.elapsedNs() / 1'000'000;
+            if (spent_ms >= opts.timeoutMs)
+                break; // timeout: resend (bounded)
+            pollfd p{fd, POLLIN, 0};
+            int rc = ::poll(&p, 1,
+                            static_cast<int>(opts.timeoutMs -
+                                             spent_ms));
+            if (rc < 0 && errno == EINTR)
+                continue;
+            if (rc <= 0)
+                break;
+            std::uint8_t rhdr[frame::controlHeaderBytes];
+            if (!recvFully(fd, rhdr, sizeof(rhdr))) {
+                // Peer dropped the connection: reconnect and resend.
+                std::lock_guard<std::mutex> lock(n.ctrlMutex);
+                ::close(fd);
+                n.ctrlOut.erase(dst);
+                break;
+            }
+            frame::ControlHeader r = frame::decodeControlHeader(rhdr);
+            panicIf(r.kind != frame::kindReply,
+                    "TcpTransport: unexpected frame on control reply "
+                    "path");
+            std::vector<std::uint8_t> reply(r.len);
+            if (r.len)
+                recvFully(fd, reply.data(), r.len);
+            if (r.reqId != req_id)
+                continue; // stale reply from a resent attempt
+            return reply;
+        }
+    }
+    panic("TcpTransport: request to node " + std::to_string(dst) +
+          " timed out after " + std::to_string(opts.maxRetries) +
+          " retries (tag " + std::to_string(tag) + ")");
+}
+
+void
+TcpTransport::acceptPending(Node &n)
+{
+    while (true) {
+        pollfd p{n.listenFd, POLLIN, 0};
+        int rc = ::poll(&p, 1, 0);
+        if (rc < 0 && errno == EINTR)
+            continue;
+        if (rc <= 0)
+            return;
+        int fd = ::accept(n.listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                return;
+            sysErr("accept");
+        }
+        setNoDelay(fd);
+        std::uint8_t buf[frame::handshakeBytes];
+        if (!recvFully(fd, buf, sizeof(buf))) {
+            ::close(fd);
+            continue;
+        }
+        frame::Handshake h{};
+        if (!frame::decodeHandshake(buf, h))
+            panic("TcpTransport: bad handshake magic");
+        if (h.channel == frame::channelData) {
+            std::lock_guard<std::mutex> lock(n.recvMutex);
+            n.dataConns.push_back(DataConn{fd, h.src, h.tag});
+        } else {
+            n.ctrlIn.push_back(fd);
+        }
+    }
+}
+
+bool
+TcpTransport::serveControl(NodeId node, int fd)
+{
+    std::uint8_t hdr[frame::controlHeaderBytes];
+    if (!recvFully(fd, hdr, sizeof(hdr)))
+        return false;
+    frame::ControlHeader h = frame::decodeControlHeader(hdr);
+    panicIf(h.kind != frame::kindRequest,
+            "TcpTransport: unexpected frame kind on control inbound");
+    std::vector<std::uint8_t> payload(h.len);
+    if (h.len)
+        recvFully(fd, payload.data(), h.len);
+
+    RequestHandler handler;
+    {
+        std::lock_guard<std::mutex> lock(handlerMutex_);
+        handler = handlers_[node];
+    }
+    panicIf(!handler, "request: node has no registered handler");
+    std::vector<std::uint8_t> reply = handler(h.src, h.tag, payload);
+
+    frame::ControlHeader r{
+        frame::kindReply, node, h.tag, h.reqId,
+        static_cast<std::uint32_t>(reply.size())};
+    std::uint8_t rhdr[frame::controlHeaderBytes];
+    frame::encodeControlHeader(rhdr, r);
+    writeTimed(fd, rhdr, sizeof(rhdr));
+    if (!reply.empty())
+        writeTimed(fd, reply.data(), reply.size());
+    wire_.framesSent.fetch_add(1, std::memory_order_relaxed);
+    TcpMetrics::get().framesSent.inc();
+    return true;
+}
+
+void
+TcpTransport::pumpLoop(NodeId node)
+{
+    Node &n = *nodes_[node];
+    while (running_.load(std::memory_order_relaxed)) {
+        // Drain outbound frames first. Writes may block on TCP
+        // backpressure; consumers drain their ends concurrently, so
+        // progress is guaranteed without buffering the queue twice.
+        while (true) {
+            Node::TxFrame tx;
+            {
+                std::lock_guard<std::mutex> lock(n.sendMutex);
+                if (n.txQueue.empty())
+                    break;
+                tx = std::move(n.txQueue.front());
+                n.txQueue.pop_front();
+            }
+            writeTimed(tx.fd, tx.header.data(), tx.header.size());
+            if (!tx.payload.empty())
+                writeTimed(tx.fd, tx.payload.data(),
+                           tx.payload.size());
+            wire_.framesSent.fetch_add(1, std::memory_order_relaxed);
+            TcpMetrics::get().framesSent.inc();
+        }
+
+        std::vector<pollfd> fds;
+        fds.push_back(pollfd{n.wakeRead, POLLIN, 0});
+        fds.push_back(pollfd{n.listenFd, POLLIN, 0});
+        for (int fd : n.ctrlIn)
+            fds.push_back(pollfd{fd, POLLIN, 0});
+
+        int rc = ::poll(fds.data(), fds.size(), pumpPollMs);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            sysErr("poll");
+        }
+
+        if (fds[0].revents & POLLIN) {
+            std::uint8_t buf[64];
+            while (::read(n.wakeRead, buf, sizeof(buf)) > 0) {
+            }
+        }
+        if (fds[1].revents & POLLIN)
+            acceptPending(n);
+        for (std::size_t i = 2; i < fds.size(); ++i) {
+            if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            if (!serveControl(node, fds[i].fd)) {
+                ::close(fds[i].fd);
+                n.ctrlIn.erase(std::find(n.ctrlIn.begin(),
+                                         n.ctrlIn.end(), fds[i].fd));
+            }
+        }
+    }
+}
+
+} // namespace skyway

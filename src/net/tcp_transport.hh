@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The real-socket transport: every node owns a loopback TCP listener
+ * and a poll()-based pump thread; bytes genuinely cross the kernel's
+ * TCP stack, so the modeled `net.wire_ns` clocks finally have a
+ * `net.real_wire_ns` to be validated against.
+ *
+ * Topology (see net/frame.hh for the wire encoding):
+ *
+ *  - Data plane: one connection per (src, dst, tag) stream, created
+ *    lazily by the first send and announced with a handshake carrying
+ *    the sender's NodeId and the stream tag. send() never blocks the
+ *    caller: frames are queued to the source node's pump thread,
+ *    which writes them in order (mailbox semantics survive TCP
+ *    backpressure). Receives are consumer-driven: pollTag() reads
+ *    only connections carrying the wanted tag, and pollTagInto()
+ *    recv()s the payload *directly into ReserveFn-posted storage* —
+ *    old-gen chunk space on the Skyway receive path — so the
+ *    zero-copy handoff survives the wire (`net.recv_into_bytes`
+ *    counts exactly these bytes).
+ *
+ *  - Control plane: one connection per (src, dst) node pair carrying
+ *    request/reply frames for the blocking request() round trip (the
+ *    type-registry LOOKUP daemon). The destination node's pump
+ *    thread reads requests, runs the registered handler, and writes
+ *    the reply. The requester waits with a timeout and resends up to
+ *    a bounded retry budget (`net.connect_retries`), matching stale
+ *    replies away by request id — which is why handlers on this path
+ *    must be idempotent.
+ *
+ * poll/pollTag/pollTagInto are non-blocking probes exactly like the
+ * model transport's: "false / -1" means nothing has *arrived yet*,
+ * and every consumer in the repository already retries in a loop, so
+ * in-flight bytes are indistinguishable from a late sender.
+ */
+
+#ifndef SKYWAY_NET_TCP_TRANSPORT_HH
+#define SKYWAY_NET_TCP_TRANSPORT_HH
+
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "net/transport.hh"
+
+namespace skyway
+{
+
+class TcpTransport final : public Transport
+{
+  public:
+    TcpTransport(int node_count, WireCounters &wire);
+    ~TcpTransport() override;
+
+    TcpTransport(const TcpTransport &) = delete;
+    TcpTransport &operator=(const TcpTransport &) = delete;
+
+    const char *name() const override { return "tcp"; }
+
+    void send(NodeId src, NodeId dst, int tag,
+              std::vector<std::uint8_t> payload) override;
+    bool poll(NodeId dst, NetMessage &out) override;
+    bool pollTag(NodeId dst, int tag, NetMessage &out) override;
+    std::ptrdiff_t pollTagInto(NodeId dst, int tag,
+                               const ReserveFn &reserve) override;
+    void registerHandler(NodeId node, RequestHandler handler) override;
+    std::vector<std::uint8_t>
+    request(NodeId src, NodeId dst, int tag,
+            const std::vector<std::uint8_t> &payload,
+            const RequestOptions &opts) override;
+
+    /** The loopback port node @p node listens on (tests). */
+    std::uint16_t listenPort(NodeId node) const;
+
+  private:
+    /** One accepted data-plane connection (fixed src and tag). */
+    struct DataConn
+    {
+        int fd;
+        NodeId src;
+        int tag;
+    };
+
+    /** Everything one node owns. */
+    struct Node
+    {
+        int listenFd = -1;
+        std::uint16_t port = 0;
+
+        /** Wakes the pump out of poll() (self-pipe). */
+        int wakeRead = -1;
+        int wakeWrite = -1;
+
+        /**
+         * Inbound data connections plus local (src == dst)
+         * deliveries, shared between the pump (which registers
+         * accepted connections) and consumer threads (which read
+         * them).
+         */
+        std::mutex recvMutex;
+        std::vector<DataConn> dataConns;
+        std::deque<NetMessage> selfBox;
+
+        /** One queued data frame: header + payload, written back to
+         *  back by the pump (the payload vector is the sender's own
+         *  buffer, moved — no send-side staging copy). */
+        struct TxFrame
+        {
+            int fd;
+            std::vector<std::uint8_t> header;
+            std::vector<std::uint8_t> payload;
+        };
+
+        /** Outbound frame queue, drained by this node's pump. */
+        std::mutex sendMutex;
+        std::map<std::pair<NodeId, int>, int> dataOut;
+        std::deque<TxFrame> txQueue;
+
+        /** Outbound control connections, one per destination; the
+         *  per-destination mutex serializes request/reply exchanges
+         *  on the shared connection. */
+        std::mutex ctrlMutex;
+        std::map<NodeId, int> ctrlOut;
+        std::map<NodeId, std::unique_ptr<std::mutex>> ctrlPair;
+        std::uint32_t nextReqId = 1;
+
+        /** Inbound control connections; pump-owned, no lock. */
+        std::vector<int> ctrlIn;
+
+        std::thread pump;
+    };
+
+    void pumpLoop(NodeId node);
+    void wakePump(NodeId node);
+    void acceptPending(Node &n);
+    /** Serve one request frame from @p fd; false when the peer hung
+     *  up (the fd is closed and must be dropped). */
+    bool serveControl(NodeId node, int fd);
+
+    /** Connect to @p dst's listener and send @p shake; retries (and
+     *  counts) transient failures. */
+    int connectTo(NodeId dst, const std::uint8_t *shake,
+                  std::size_t shake_len);
+    int dataConnFor(Node &n, NodeId src, NodeId dst, int tag);
+    int ctrlConnFor(Node &n, NodeId src, NodeId dst);
+
+    /** Write all of @p buf to @p fd, timing it into realWireNs. */
+    void writeTimed(int fd, const std::uint8_t *buf, std::size_t len);
+
+    int nodeCount_;
+    WireCounters &wire_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::mutex handlerMutex_;
+    std::vector<RequestHandler> handlers_;
+    std::atomic<bool> running_{true};
+};
+
+} // namespace skyway
+
+#endif // SKYWAY_NET_TCP_TRANSPORT_HH

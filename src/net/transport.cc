@@ -1,0 +1,44 @@
+#include "net/transport.hh"
+
+#include "net/model_transport.hh"
+#include "net/tcp_transport.hh"
+#include "support/logging.hh"
+
+namespace skyway
+{
+
+const char *
+transportKindName(TransportKind kind)
+{
+    switch (kind) {
+      case TransportKind::Model:
+        return "model";
+      case TransportKind::Tcp:
+        return "tcp";
+    }
+    panic("transportKindName: unknown kind");
+}
+
+std::optional<TransportKind>
+parseTransportKind(std::string_view name)
+{
+    if (name == "model")
+        return TransportKind::Model;
+    if (name == "tcp")
+        return TransportKind::Tcp;
+    return std::nullopt;
+}
+
+std::unique_ptr<Transport>
+makeTransport(TransportKind kind, int node_count, WireCounters &wire)
+{
+    switch (kind) {
+      case TransportKind::Model:
+        return std::make_unique<ModelTransport>(node_count);
+      case TransportKind::Tcp:
+        return std::make_unique<TcpTransport>(node_count, wire);
+    }
+    panic("makeTransport: unknown kind");
+}
+
+} // namespace skyway

@@ -33,6 +33,7 @@ TypeRegistryDriver::TypeRegistryDriver(ClusterNetwork &net, NodeId node,
 std::int32_t
 TypeRegistryDriver::idForClass(const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = registry_.find(name);
     if (it != registry_.end())
         return it->second;
@@ -45,6 +46,7 @@ TypeRegistryDriver::idForClass(const std::string &name)
 std::string
 TypeRegistryDriver::nameForId(std::int32_t id)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     panicIf(id < 0 || static_cast<std::size_t>(id) >= names_.size(),
             "TypeRegistryDriver: unknown type id " + std::to_string(id));
     return names_[id];
@@ -53,6 +55,8 @@ TypeRegistryDriver::nameForId(std::int32_t id)
 Klass *
 TypeRegistryDriver::klassForId(std::int32_t id)
 {
+    // nameForId locks internally; klasses_.load() must run unlocked
+    // (its load hook re-enters idForClass).
     Klass *k = klasses_.load(nameForId(id));
     if (k->tid() == Klass::unregisteredTid)
         k->setTid(id);
@@ -62,14 +66,18 @@ TypeRegistryDriver::klassForId(std::int32_t id)
 Klass *
 TypeRegistryDriver::tryKlassForId(std::int32_t id)
 {
-    if (id < 0 || static_cast<std::size_t>(id) >= names_.size())
-        return nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (id < 0 || static_cast<std::size_t>(id) >= names_.size())
+            return nullptr;
+    }
     return klassForId(id);
 }
 
 std::vector<std::uint8_t>
 TypeRegistryDriver::encodeView() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     VectorSink sink;
     sink.writeVarU64(names_.size());
     for (std::size_t id = 0; id < names_.size(); ++id)
@@ -82,13 +90,23 @@ TypeRegistryDriver::handle(NodeId, int tag,
                            const std::vector<std::uint8_t> &payload)
 {
     if (tag == regmsg::requestView) {
-        ++stats_.viewRequestsServed;
-        stats_.classStringsSent += names_.size();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.viewRequestsServed;
+            stats_.classStringsSent += names_.size();
+        }
         return encodeView();
     }
     if (tag == regmsg::lookup) {
-        // Algorithm 1 lines 13-19: register-on-first-sight.
-        ++stats_.lookupsServed;
+        // Algorithm 1 lines 13-19: register-on-first-sight. The
+        // handler may run twice for one request (a timed-out and
+        // resent LOOKUP on the tcp transport) — registering an
+        // already-registered class is a lookup, so the protocol is
+        // naturally idempotent.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.lookupsServed;
+        }
         ByteSource src(payload);
         std::string name = src.readString();
         std::int32_t id = idForClass(name);
@@ -97,13 +115,14 @@ TypeRegistryDriver::handle(NodeId, int tag,
         return sink.takeBytes();
     }
     if (tag == regmsg::lookupName) {
-        ++stats_.reverseLookupsServed;
         ByteSource src(payload);
         std::int32_t id = src.readI32();
         VectorSink sink;
         // An unknown id gets an empty-name reply instead of a driver
         // panic: a worker probing a forged id from a corrupt stream
         // (the SkywaySan validator) must not crash the driver.
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.reverseLookupsServed;
         if (id >= 0 && static_cast<std::size_t>(id) < names_.size()) {
             sink.writeString(names_[id]);
             ++stats_.classStringsSent;
@@ -147,26 +166,39 @@ TypeRegistryWorker::TypeRegistryWorker(ClusterNetwork &net, NodeId node,
 void
 TypeRegistryWorker::insertView(const std::string &name, std::int32_t id)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     view_[name] = id;
     idToName_[id] = name;
     if (id > maxId_)
         maxId_ = id;
 }
 
+RequestOptions
+TypeRegistryWorker::lookupOptions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lookupOpts_;
+}
+
 std::int32_t
 TypeRegistryWorker::idForClass(const std::string &name)
 {
-    auto it = view_.find(name);
-    if (it != view_.end())
-        return it->second;
-
-    // Miss: one remote LOOKUP, then cached forever.
-    ++stats_.remoteLookupsIssued;
-    ++stats_.classStringsSent;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = view_.find(name);
+        if (it != view_.end())
+            return it->second;
+        // Miss: one remote LOOKUP, then cached forever. (Two sender
+        // threads racing on the same cold class both ask; the driver
+        // answers both with the same id.)
+        ++stats_.remoteLookupsIssued;
+        ++stats_.classStringsSent;
+    }
     VectorSink sink;
     sink.writeString(name);
     std::vector<std::uint8_t> reply =
-        net_.request(node_, driver_, regmsg::lookup, sink.takeBytes());
+        net_.request(node_, driver_, regmsg::lookup, sink.takeBytes(),
+                     lookupOptions());
     ByteSource src(reply);
     std::int32_t id = src.readI32();
     insertView(name, id);
@@ -176,17 +208,19 @@ TypeRegistryWorker::idForClass(const std::string &name)
 std::string
 TypeRegistryWorker::nameForId(std::int32_t id)
 {
-    auto it = idToName_.find(id);
-    if (it != idToName_.end())
-        return it->second;
-
-    // Stale view: the id was assigned after our snapshot.
-    ++stats_.remoteLookupsIssued;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = idToName_.find(id);
+        if (it != idToName_.end())
+            return it->second;
+        // Stale view: the id was assigned after our snapshot.
+        ++stats_.remoteLookupsIssued;
+    }
     VectorSink sink;
     sink.writeI32(id);
     std::vector<std::uint8_t> reply =
         net_.request(node_, driver_, regmsg::lookupName,
-                     sink.takeBytes());
+                     sink.takeBytes(), lookupOptions());
     ByteSource src(reply);
     std::string name = src.readString();
     panicIf(name.empty(), "TypeRegistryWorker: unknown type id " +
@@ -198,34 +232,48 @@ TypeRegistryWorker::nameForId(std::int32_t id)
 Klass *
 TypeRegistryWorker::klassForId(std::int32_t id)
 {
-    auto it = idToName_.find(id);
-    if (it != idToName_.end()) {
-        Klass *k = klasses_.findLoaded(it->second);
-        if (k)
-            return k;
-        // Known name, not yet loaded: instruct the class loader.
-        return klasses_.load(it->second);
+    std::string name;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = idToName_.find(id);
+        if (it != idToName_.end())
+            name = it->second;
     }
-    return klasses_.load(nameForId(id));
+    if (name.empty())
+        name = nameForId(id);
+    Klass *k = klasses_.findLoaded(name);
+    if (k)
+        return k;
+    // Known name, not yet loaded: instruct the class loader (unlocked
+    // — the load hook re-enters idForClass).
+    return klasses_.load(name);
 }
 
 Klass *
 TypeRegistryWorker::tryKlassForId(std::int32_t id)
 {
-    if (idToName_.count(id))
-        return klassForId(id);
-    // Graceful stale-view probe: an empty-name reply means no registry
-    // ever assigned the id (it came from a corrupt stream).
-    ++stats_.remoteLookupsIssued;
-    VectorSink sink;
-    sink.writeI32(id);
-    std::vector<std::uint8_t> reply = net_.request(
-        node_, driver_, regmsg::lookupName, sink.takeBytes());
-    ByteSource src(reply);
-    std::string name = src.readString();
-    if (name.empty())
-        return nullptr;
-    insertView(name, id);
+    bool known;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        known = idToName_.count(id) != 0;
+        if (!known)
+            ++stats_.remoteLookupsIssued;
+    }
+    if (!known) {
+        // Graceful stale-view probe: an empty-name reply means no
+        // registry ever assigned the id (it came from a corrupt
+        // stream).
+        VectorSink sink;
+        sink.writeI32(id);
+        std::vector<std::uint8_t> reply = net_.request(
+            node_, driver_, regmsg::lookupName, sink.takeBytes(),
+            lookupOptions());
+        ByteSource src(reply);
+        std::string name = src.readString();
+        if (name.empty())
+            return nullptr;
+        insertView(name, id);
+    }
     return klassForId(id);
 }
 

@@ -23,6 +23,7 @@
 #define SKYWAY_TYPEREG_REGISTRY_HH
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -116,13 +117,24 @@ class TypeRegistryDriver : public TypeResolver
     std::int32_t
     maxAssignedId() const override
     {
+        std::lock_guard<std::mutex> lock(mutex_);
         return static_cast<std::int32_t>(names_.size()) - 1;
     }
 
     /** Number of classes registered cluster-wide. */
-    std::size_t size() const { return names_.size(); }
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return names_.size();
+    }
 
-    const RegistryStats &stats() const { return stats_; }
+    RegistryStats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stats_;
+    }
 
     /** Serialize the full registry (the REQUEST_VIEW reply). */
     std::vector<std::uint8_t> encodeView() const;
@@ -135,6 +147,14 @@ class TypeRegistryDriver : public TypeResolver
     ClusterNetwork &net_;
     NodeId node_;
     KlassTable &klasses_;
+    /**
+     * Guards registry_/names_/stats_. On the tcp transport handle()
+     * runs on the destination node's pump thread, concurrent with the
+     * driver JVM's own idForClass() calls. Held only across map
+     * accesses — never across klasses_.load(), whose load hook
+     * re-enters idForClass().
+     */
+    mutable std::mutex mutex_;
     std::unordered_map<std::string, std::int32_t> registry_;
     std::vector<std::string> names_; // id -> name
     RegistryStats stats_;
@@ -159,22 +179,59 @@ class TypeRegistryWorker : public TypeResolver
     Klass *tryKlassForId(std::int32_t id) override;
 
     /** View ids may be sparse; tracked as entries are inserted. */
-    std::int32_t maxAssignedId() const override { return maxId_; }
+    std::int32_t
+    maxAssignedId() const override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return maxId_;
+    }
 
-    std::size_t viewSize() const { return view_.size(); }
-    const RegistryStats &stats() const { return stats_; }
+    std::size_t
+    viewSize() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return view_.size();
+    }
+
+    RegistryStats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stats_;
+    }
+
+    /**
+     * Bounds every remote LOOKUP this worker issues (timeout and
+     * retry budget on the tcp transport; ignored on the model
+     * transport, which completes synchronously).
+     */
+    void
+    setLookupOptions(const RequestOptions &opts)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        lookupOpts_ = opts;
+    }
 
   private:
     void insertView(const std::string &name, std::int32_t id);
+    RequestOptions lookupOptions() const;
 
     ClusterNetwork &net_;
     NodeId node_;
     NodeId driver_;
     KlassTable &klasses_;
+    /**
+     * Guards view_/idToName_/maxId_/stats_. Parallel sender threads
+     * share one worker view; held only across map accesses — never
+     * across net_.request() (a blocking round trip) or
+     * klasses_.load() (whose load hook re-enters idForClass()).
+     */
+    mutable std::mutex mutex_;
     std::unordered_map<std::string, std::int32_t> view_;
     std::unordered_map<std::int32_t, std::string> idToName_;
     std::int32_t maxId_ = -1;
     RegistryStats stats_;
+    RequestOptions lookupOpts_;
 };
 
 } // namespace skyway

@@ -65,6 +65,53 @@ TEST(Cluster, PollTagSkipsOthers)
     EXPECT_EQ(std::string(m.payload.begin(), m.payload.end()), "a");
 }
 
+TEST(Cluster, PollTagSkipRetainsPerTagOrder)
+{
+    ClusterNetwork net(2);
+    net.send(0, 1, 1, bytesOf("first"));
+    net.send(0, 1, 2, bytesOf("other"));
+    net.send(0, 1, 1, bytesOf("second"));
+    NetMessage m;
+    // Draining tag 2 out of the middle must not disturb tag 1's
+    // delivery order.
+    ASSERT_TRUE(net.pollTag(1, 2, m));
+    EXPECT_EQ(std::string(m.payload.begin(), m.payload.end()), "other");
+    ASSERT_TRUE(net.pollTag(1, 1, m));
+    EXPECT_EQ(std::string(m.payload.begin(), m.payload.end()), "first");
+    ASSERT_TRUE(net.pollTag(1, 1, m));
+    EXPECT_EQ(std::string(m.payload.begin(), m.payload.end()),
+              "second");
+}
+
+TEST(Cluster, PollTagIntoNothingPending)
+{
+    ClusterNetwork net(2);
+    bool reserve_called = false;
+    EXPECT_EQ(net.pollTagInto(1, 5,
+                              [&](std::size_t) -> std::uint8_t * {
+                                  reserve_called = true;
+                                  return nullptr;
+                              }),
+              -1);
+    EXPECT_FALSE(reserve_called);
+}
+
+TEST(Cluster, PollTagIntoEmptyPayloadSkipsReserve)
+{
+    // A zero-length payload is the end-of-stream marker: it must be
+    // reported as 0 without asking the receiver for storage.
+    ClusterNetwork net(2);
+    net.send(0, 1, 5, {});
+    bool reserve_called = false;
+    EXPECT_EQ(net.pollTagInto(1, 5,
+                              [&](std::size_t) -> std::uint8_t * {
+                                  reserve_called = true;
+                                  return nullptr;
+                              }),
+              0);
+    EXPECT_FALSE(reserve_called);
+}
+
 TEST(Cluster, ByteAccountingPerPair)
 {
     ClusterNetwork net(3);
@@ -124,6 +171,13 @@ TEST(Cluster, ResetAccounting)
     net.resetAccounting();
     EXPECT_EQ(net.totalBytesSent(0), 0u);
     EXPECT_EQ(net.wireNs(0), 0u);
+    EXPECT_EQ(net.messagesSent(0), 0u);
+    // Real-wire counters clear too (and stay zero on the model
+    // transport regardless).
+    EXPECT_EQ(net.framesSent(), 0u);
+    EXPECT_EQ(net.connectRetries(), 0u);
+    EXPECT_EQ(net.recvIntoBytes(), 0u);
+    EXPECT_EQ(net.realWireNs(), 0u);
 }
 
 TEST(Disk, WriteReadRoundTrip)
