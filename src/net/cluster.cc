@@ -38,7 +38,8 @@ struct NetMetrics
 } // namespace
 
 ClusterNetwork::ClusterNetwork(int node_count, NetworkCostModel model,
-                               TransportKind transport)
+                               TransportKind transport,
+                               const TransportOptions &options)
     : nodeCount_(node_count),
       model_(model),
       kind_(transport),
@@ -47,7 +48,7 @@ ClusterNetwork::ClusterNetwork(int node_count, NetworkCostModel model,
       msgs_(node_count)
 {
     panicIf(node_count <= 0, "ClusterNetwork: need at least one node");
-    transport_ = makeTransport(kind_, node_count, wire_);
+    transport_ = makeTransport(kind_, node_count, wire_, options);
 }
 
 ClusterNetwork::~ClusterNetwork() = default;

@@ -41,7 +41,8 @@ class ClusterNetwork
     explicit ClusterNetwork(int node_count,
                             NetworkCostModel model = gigabitEthernet(),
                             TransportKind transport =
-                                TransportKind::Model);
+                                TransportKind::Model,
+                            const TransportOptions &options = {});
     ~ClusterNetwork();
 
     int nodeCount() const { return nodeCount_; }
@@ -146,6 +147,22 @@ class ClusterNetwork
     realWireNs() const
     {
         return wire_.realWireNs.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    creditStallsNs() const
+    {
+        return wire_.creditStallsNs.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    epollWakeups() const
+    {
+        return wire_.epollWakeups.load(std::memory_order_relaxed);
+    }
+    /** Data connections established into the pair pool (cumulative). */
+    std::uint64_t
+    pooledConnections() const
+    {
+        return wire_.connectionsPooled.load(std::memory_order_relaxed);
     }
     /// @}
 

@@ -1,6 +1,7 @@
 /**
  * @file
- * Wire framing for the TCP transport. Everything on a socket is
+ * Wire framing for the TCP transport (the byte-level story, with
+ * diagrams, is docs/TRANSPORT.md). Everything on a socket is
  * little-endian fixed-width fields (both ends are the same loopback
  * host; no varints on this path — headers must be parseable with a
  * fixed-size read).
@@ -8,15 +9,24 @@
  * Connection handshake (sent once by the connecting side):
  *
  *     u32 magic 'SKYW' | u8 channel (0 = data, 1 = control)
- *     | i32 src node id | i32 tag (data channel; 0 on control)
+ *     | i32 src node id | i32 reserved (0)
  *
- * The data plane opens one connection per (src, dst, tag) stream —
- * the socket-per-fetch-stream shape real shuffle services use — so a
- * consumer draining one tag never has to read (and stage) another
- * stream's bytes, which is what keeps the receive path zero-copy.
+ * The data plane is *multiplexed*: exactly one connection per node
+ * pair carries every stream between the two nodes as tagged,
+ * length-prefixed mux frames, in both directions. A stream is
+ * identified by (sender, receiver, tag); on a pair connection the
+ * endpoints are fixed, so the frame header only needs the writer's
+ * node id (validation), the tag, and one argument word.
  *
- * Data frame:    i32 src | i32 tag | u32 len | len payload bytes
- *                (len == 0 is the end-of-stream marker).
+ * Mux frame:     u8 kind | i32 origin | i32 tag | u32 arg
+ *                kind 4 = stream data: origin is the writer (the
+ *                stream's sender), arg is the payload length, and
+ *                `arg` payload bytes follow (arg == 0 is the
+ *                end-of-stream marker, no payload).
+ *                kind 5 = credit grant: origin is the writer (the
+ *                stream's *receiver*, granting), arg is the number of
+ *                payload bytes returned to the stream's send window,
+ *                no payload. See docs/TRANSPORT.md §4.
  * Control frame: u8 kind (2 = request, 3 = reply) | i32 src
  *                | i32 tag | u32 reqId | u32 len | payload.
  *                reqId lets a requester that timed out and resent
@@ -42,9 +52,11 @@ constexpr std::uint8_t channelControl = 1;
 
 constexpr std::uint8_t kindRequest = 2;
 constexpr std::uint8_t kindReply = 3;
+constexpr std::uint8_t kindStream = 4;
+constexpr std::uint8_t kindCredit = 5;
 
 constexpr std::size_t handshakeBytes = 4 + 1 + 4 + 4;
-constexpr std::size_t dataHeaderBytes = 4 + 4 + 4;
+constexpr std::size_t muxHeaderBytes = 1 + 4 + 4 + 4;
 constexpr std::size_t controlHeaderBytes = 1 + 4 + 4 + 4 + 4;
 
 inline void
@@ -79,7 +91,6 @@ struct Handshake
 {
     std::uint8_t channel;
     std::int32_t src;
-    std::int32_t tag;
 };
 
 inline void
@@ -88,7 +99,7 @@ encodeHandshake(std::uint8_t (&buf)[handshakeBytes], const Handshake &h)
     putU32(buf, handshakeMagic);
     buf[4] = h.channel;
     putI32(buf + 5, h.src);
-    putI32(buf + 9, h.tag);
+    putI32(buf + 9, 0); // reserved
 }
 
 /** False when the magic does not match (not a Skyway peer). */
@@ -99,30 +110,37 @@ decodeHandshake(const std::uint8_t (&buf)[handshakeBytes], Handshake &h)
         return false;
     h.channel = buf[4];
     h.src = getI32(buf + 5);
-    h.tag = getI32(buf + 9);
     return true;
 }
 
-struct DataHeader
+/**
+ * One multiplexed frame header on a pair connection. For kindStream,
+ * @p origin is the stream's sender and @p arg the payload length
+ * (0 = end of stream). For kindCredit, @p origin is the granting
+ * receiver and @p arg the bytes returned to the stream's window.
+ */
+struct MuxHeader
 {
-    std::int32_t src;
+    std::uint8_t kind;
+    std::int32_t origin;
     std::int32_t tag;
-    std::uint32_t len;
+    std::uint32_t arg;
 };
 
 inline void
-encodeDataHeader(std::uint8_t (&buf)[dataHeaderBytes],
-                 const DataHeader &h)
+encodeMuxHeader(std::uint8_t (&buf)[muxHeaderBytes], const MuxHeader &h)
 {
-    putI32(buf, h.src);
-    putI32(buf + 4, h.tag);
-    putU32(buf + 8, h.len);
+    buf[0] = h.kind;
+    putI32(buf + 1, h.origin);
+    putI32(buf + 5, h.tag);
+    putU32(buf + 9, h.arg);
 }
 
-inline DataHeader
-decodeDataHeader(const std::uint8_t (&buf)[dataHeaderBytes])
+inline MuxHeader
+decodeMuxHeader(const std::uint8_t (&buf)[muxHeaderBytes])
 {
-    return DataHeader{getI32(buf), getI32(buf + 4), getU32(buf + 8)};
+    return MuxHeader{buf[0], getI32(buf + 1), getI32(buf + 5),
+                     getU32(buf + 9)};
 }
 
 struct ControlHeader

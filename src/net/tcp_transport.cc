@@ -5,11 +5,16 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <pthread.h>
+#include <sched.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
 
@@ -31,6 +36,10 @@ struct TcpMetrics
     obs::Counter &framesSent;
     obs::Counter &connectRetries;
     obs::Counter &recvIntoBytes;
+    obs::Counter &creditStallsNs;
+    obs::Counter &epollWakeups;
+    obs::Gauge &streamsActive;
+    obs::Gauge &pooledConnections;
 
     static TcpMetrics &
     get()
@@ -41,16 +50,55 @@ struct TcpMetrics
             r.counter("net.frames_sent"),
             r.counter("net.connect_retries"),
             r.counter("net.recv_into_bytes"),
+            r.counter("net.credit_stalls_ns"),
+            r.counter("net.epoll_wakeups"),
+            r.gauge("net.streams_active"),
+            r.gauge("net.pooled_connections"),
         };
         return m;
     }
 };
 
-/** How long the pump sleeps in poll() when nothing is happening. */
-constexpr int pumpPollMs = 50;
+/** How long the event loop sleeps in epoll_wait when idle. */
+constexpr int loopWaitMs = 50;
+
+/** How long a stream may sit credit-stalled before the loop assumes
+ *  its grant is trapped behind a parked inbound frame and stages that
+ *  connection (2x the epoll timeout, so the check always fires while
+ *  a genuine just-slow receiver rarely trips it). */
+constexpr std::uint64_t stallRescueNs =
+    2ull * loopWaitMs * 1'000'000ull;
 
 /** Transient-connect retry budget (listen backlog overflow). */
 constexpr int connectAttempts = 100;
+
+/** epoll token classification (packed into epoll_event.data.u64). */
+enum class FdKind : std::uint64_t
+{
+    Wake = 0,
+    Listen = 1,
+    Pair = 2,
+    Ctrl = 3,
+};
+
+std::uint64_t
+packToken(FdKind kind, NodeId peer, int fd)
+{
+    return (static_cast<std::uint64_t>(kind) << 56) |
+           ((static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(peer)) & 0xFFFFFF) << 32) |
+           static_cast<std::uint32_t>(fd);
+}
+
+/** Monotonic wall clock for stall bookkeeping. */
+std::uint64_t
+monoNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
 
 [[noreturn]] void
 sysErr(const char *what)
@@ -97,17 +145,6 @@ sendFully(int fd, const std::uint8_t *buf, std::size_t len)
     }
 }
 
-/** True when @p fd has bytes (or EOF) ready right now. */
-bool
-readableNow(int fd)
-{
-    pollfd p{fd, POLLIN, 0};
-    int rc = ::poll(&p, 1, 0);
-    if (rc < 0 && errno != EINTR)
-        sysErr("poll");
-    return rc > 0 && (p.revents & (POLLIN | POLLHUP | POLLERR));
-}
-
 void
 setNoDelay(int fd)
 {
@@ -115,12 +152,48 @@ setNoDelay(int fd)
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+/** The unordered-pair pool key. */
+std::pair<NodeId, NodeId>
+pairKey(NodeId a, NodeId b)
+{
+    return {std::min(a, b), std::max(a, b)};
+}
+
+/** Environment overrides for TransportOptions (docs/TRANSPORT.md §6). */
+TransportOptions
+applyEnv(TransportOptions opts)
+{
+    if (const char *e = std::getenv("SKYWAY_NET_CREDIT_BYTES")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(e, &end, 10);
+        panicIf(end == e || v == 0,
+                "SKYWAY_NET_CREDIT_BYTES must be a positive integer");
+        opts.creditWindowBytes = static_cast<std::size_t>(v);
+    }
+    if (const char *e = std::getenv("SKYWAY_NET_QUEUE_LIMIT")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(e, &end, 10);
+        panicIf(end == e,
+                "SKYWAY_NET_QUEUE_LIMIT must be an integer (0 = off)");
+        opts.maxQueuedBytesPerStream = static_cast<std::size_t>(v);
+    }
+    if (const char *e = std::getenv("SKYWAY_NET_AFFINITY"))
+        opts.pinEventLoops = e[0] == '1';
+    return opts;
+}
+
 } // namespace
 
-TcpTransport::TcpTransport(int node_count, WireCounters &wire)
-    : nodeCount_(node_count), wire_(wire), handlers_(node_count)
+TcpTransport::TcpTransport(int node_count, WireCounters &wire,
+                           const TransportOptions &options)
+    : nodeCount_(node_count),
+      wire_(wire),
+      options_(applyEnv(options)),
+      handlers_(node_count)
 {
     TcpMetrics::get(); // registration outside any hot path
+    panicIf(options_.creditWindowBytes == 0,
+            "TcpTransport: creditWindowBytes must be > 0");
 
     nodes_.reserve(node_count);
     for (int i = 0; i < node_count; ++i) {
@@ -147,38 +220,68 @@ TcpTransport::TcpTransport(int node_count, WireCounters &wire)
         n->port = ntohs(addr.sin_port);
         if (::listen(n->listenFd, 128) < 0)
             sysErr("listen");
+        // Non-blocking listener: the loop accepts until EAGAIN.
+        ::fcntl(n->listenFd, F_SETFL, O_NONBLOCK);
 
         int pipefd[2];
         if (::pipe(pipefd) < 0)
             sysErr("pipe");
-        // Non-blocking read end: the pump drains the pipe dry after a
+        // Non-blocking read end: the loop drains the pipe dry after a
         // wakeup without risking a block on an already-empty pipe.
         ::fcntl(pipefd[0], F_SETFL, O_NONBLOCK);
         n->wakeRead = pipefd[0];
         n->wakeWrite = pipefd[1];
 
+        n->epollFd = ::epoll_create1(0);
+        if (n->epollFd < 0)
+            sysErr("epoll_create1");
+
         nodes_.push_back(std::move(n));
+
+        epollAdd(i, packToken(FdKind::Wake, 0, pipefd[0]), pipefd[0]);
+        epollAdd(i, packToken(FdKind::Listen, 0, nodes_[i]->listenFd),
+                 nodes_[i]->listenFd);
     }
 
-    // Pumps start only after every listener exists: a node's first
-    // send may connect to any peer.
+    // Loops start only after every listener exists: a node's first
+    // frame may connect to any peer.
     for (int i = 0; i < node_count; ++i)
-        nodes_[i]->pump = std::thread(&TcpTransport::pumpLoop, this, i);
+        nodes_[i]->loop = std::thread(&TcpTransport::eventLoop, this, i);
 }
 
 TcpTransport::~TcpTransport()
 {
     running_.store(false, std::memory_order_relaxed);
-    for (int i = 0; i < nodeCount_; ++i)
-        wakePump(i);
-    for (auto &n : nodes_) {
-        if (n->pump.joinable())
-            n->pump.join();
+    for (int i = 0; i < nodeCount_; ++i) {
+        wakeLoop(i);
+        {
+            // Release bounded-queue senders stuck in send().
+            std::lock_guard<std::mutex> lock(nodes_[i]->sendMutex);
+        }
+        nodes_[i]->sendCv.notify_all();
     }
     for (auto &n : nodes_) {
-        for (auto &c : n->dataConns)
-            ::close(c.fd);
-        for (auto &[key, fd] : n->dataOut)
+        if (n->loop.joinable())
+            n->loop.join();
+    }
+
+    // Unwind the process-wide gauges this fabric contributed to.
+    TcpMetrics &m = TcpMetrics::get();
+    std::int64_t active = 0;
+    for (auto &n : nodes_) {
+        for (auto &[key, s] : n->streams) {
+            if (s.active)
+                ++active;
+        }
+    }
+    if (active)
+        m.streamsActive.add(-active);
+    if (!pool_.empty())
+        m.pooledConnections.add(
+            -static_cast<std::int64_t>(pool_.size()));
+
+    for (auto &n : nodes_) {
+        for (auto &[peer, fd] : n->pairFd)
             ::close(fd);
         for (auto &[dst, fd] : n->ctrlOut)
             ::close(fd);
@@ -187,6 +290,7 @@ TcpTransport::~TcpTransport()
         ::close(n->listenFd);
         ::close(n->wakeRead);
         ::close(n->wakeWrite);
+        ::close(n->epollFd);
     }
 }
 
@@ -197,11 +301,29 @@ TcpTransport::listenPort(NodeId node) const
 }
 
 void
-TcpTransport::wakePump(NodeId node)
+TcpTransport::wakeLoop(NodeId node)
 {
     std::uint8_t b = 0;
     ssize_t rc = ::write(nodes_[node]->wakeWrite, &b, 1);
     (void)rc; // a full pipe already guarantees a wakeup
+}
+
+void
+TcpTransport::epollAdd(NodeId node, std::uint64_t token, int fd)
+{
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = token;
+    if (::epoll_ctl(nodes_[node]->epollFd, EPOLL_CTL_ADD, fd, &ev) < 0)
+        sysErr("epoll_ctl(ADD)");
+}
+
+void
+TcpTransport::epollDel(NodeId node, int fd)
+{
+    epoll_event ev{}; // ignored by DEL, but pre-2.6.9 kernels want it
+    if (::epoll_ctl(nodes_[node]->epollFd, EPOLL_CTL_DEL, fd, &ev) < 0)
+        sysErr("epoll_ctl(DEL)");
 }
 
 void
@@ -229,7 +351,7 @@ TcpTransport::connectTo(NodeId dst, const std::uint8_t *shake,
             wire_.connectRetries.fetch_add(1,
                                            std::memory_order_relaxed);
             TcpMetrics::get().connectRetries.inc();
-            // Backlog overflow is transient: the pump accepts in
+            // Backlog overflow is transient: the loop accepts in
             // bounded time.
             struct timespec ts {0, 2'000'000}; // 2 ms
             ::nanosleep(&ts, nullptr);
@@ -255,18 +377,33 @@ TcpTransport::connectTo(NodeId dst, const std::uint8_t *shake,
 }
 
 int
-TcpTransport::dataConnFor(Node &n, NodeId src, NodeId dst, int tag)
+TcpTransport::pairFdOrClaim(NodeId node, NodeId dst)
 {
-    // Caller holds n.sendMutex.
-    auto key = std::make_pair(dst, tag);
-    auto it = n.dataOut.find(key);
-    if (it != n.dataOut.end())
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    Node &n = *nodes_[node];
+    auto it = n.pairFd.find(dst);
+    if (it != n.pairFd.end())
         return it->second;
-    frame::Handshake h{frame::channelData, src, tag};
+
+    PairEntry &e = pool_[pairKey(node, dst)];
+    if (e.claimed) {
+        // The peer is mid-connect; our loop's accept completes the
+        // pair. Never wait here — the accept event re-runs the drain.
+        return -1;
+    }
+    e.claimed = true;
+    wire_.connectionsPooled.fetch_add(1, std::memory_order_relaxed);
+    TcpMetrics::get().pooledConnections.add(1);
+
+    frame::Handshake h{frame::channelData, node};
     std::uint8_t shake[frame::handshakeBytes];
     frame::encodeHandshake(shake, h);
+    // connect() completes against the peer's listen backlog without
+    // its userspace accepting, so holding poolMutex_ across it cannot
+    // deadlock — it only serializes pair establishment.
     int fd = connectTo(dst, shake, sizeof(shake));
-    n.dataOut.emplace(key, fd);
+    n.pairFd.emplace(dst, fd);
+    epollAdd(node, packToken(FdKind::Pair, dst, fd), fd);
     return fd;
 }
 
@@ -277,7 +414,7 @@ TcpTransport::ctrlConnFor(Node &n, NodeId src, NodeId dst)
     auto it = n.ctrlOut.find(dst);
     if (it != n.ctrlOut.end())
         return it->second;
-    frame::Handshake h{frame::channelControl, src, 0};
+    frame::Handshake h{frame::channelControl, src};
     std::uint8_t shake[frame::handshakeBytes];
     frame::encodeHandshake(shake, h);
     int fd = connectTo(dst, shake, sizeof(shake));
@@ -296,21 +433,115 @@ TcpTransport::send(NodeId src, NodeId dst, int tag,
         std::lock_guard<std::mutex> lock(n.recvMutex);
         n.selfBox.push_back(NetMessage{src, dst, tag,
                                        std::move(payload)});
+        ++n.recvVersion;
         return;
     }
 
-    frame::DataHeader h{src, tag,
-                        static_cast<std::uint32_t>(payload.size())};
-    std::uint8_t hdr[frame::dataHeaderBytes];
-    frame::encodeDataHeader(hdr, h);
+    {
+        std::unique_lock<std::mutex> lock(n.sendMutex);
+        auto [it, inserted] =
+            n.streams.try_emplace(std::make_pair(dst, tag));
+        TxStream &s = it->second;
+        if (inserted)
+            s.credit = static_cast<std::int64_t>(
+                options_.creditWindowBytes);
+        if (!s.active) {
+            s.active = true;
+            TcpMetrics::get().streamsActive.add(1);
+        }
+        if (options_.maxQueuedBytesPerStream > 0 && !payload.empty()) {
+            // Opt-in bound on unsent bytes; requires a concurrent
+            // drainer (see TransportOptions::maxQueuedBytesPerStream).
+            n.sendCv.wait(lock, [&] {
+                return !running_.load(std::memory_order_relaxed) ||
+                       s.queuedBytes <
+                           options_.maxQueuedBytesPerStream;
+            });
+        }
+        s.queuedBytes += payload.size();
+        s.queue.push_back(std::move(payload));
+    }
+    wakeLoop(src);
+}
+
+void
+TcpTransport::queueGrant(NodeId node, NodeId src, int tag,
+                         std::uint32_t bytes)
+{
+    Node &n = *nodes_[node];
     {
         std::lock_guard<std::mutex> lock(n.sendMutex);
-        int fd = dataConnFor(n, src, dst, tag);
-        n.txQueue.push_back(Node::TxFrame{
-            fd, std::vector<std::uint8_t>(hdr, hdr + sizeof(hdr)),
-            std::move(payload)});
+        n.grants.push_back(Grant{src, tag, bytes});
     }
-    wakePump(src);
+    wakeLoop(node);
+}
+
+void
+TcpTransport::stageParked(NodeId node, Node &n,
+                          const std::set<int> *onlyFds)
+{
+    // Caller holds n.recvMutex. Either a consumer is stuck on a tag
+    // none of the parked frames carry, or (onlyFds set) the loop's
+    // stall rescue needs the grants queued behind these frames; read
+    // the payloads off their connections (one staging copy —
+    // intentionally NOT counted as net.recv_into_bytes) so whatever
+    // is queued behind them keeps flowing. Credit is granted only
+    // when a consumer takes a staged message: staged bytes still
+    // occupy this node's memory, so total staging is bounded by the
+    // senders' credit windows.
+    std::vector<Parked> keep;
+    bool stagedAny = false;
+    for (Parked &p : n.parked) {
+        if (onlyFds && !onlyFds->count(p.fd)) {
+            keep.push_back(p);
+            continue;
+        }
+        NetMessage m{p.src, node, p.tag, {}};
+        if (p.len) {
+            m.payload.resize(p.len);
+            panicIf(!recvFully(p.fd, m.payload.data(), p.len),
+                    "peer closed mid-frame");
+        }
+        epollAdd(node, packToken(FdKind::Pair, p.src, p.fd), p.fd);
+        n.staged.push_back(std::move(m));
+        stagedAny = true;
+    }
+    n.parked = std::move(keep);
+    if (stagedAny)
+        ++n.recvVersion;
+}
+
+void
+TcpTransport::rescueStalledStreams(NodeId node)
+{
+    Node &n = *nodes_[node];
+    std::vector<NodeId> starvedDsts;
+    std::uint64_t now = monoNs();
+    {
+        std::lock_guard<std::mutex> lock(n.sendMutex);
+        for (auto &[key, s] : n.streams) {
+            if (!s.stalled || now - s.stallStartNs < stallRescueNs)
+                continue;
+            if (starvedDsts.empty() || starvedDsts.back() != key.first)
+                starvedDsts.push_back(key.first); // map: dsts adjacent
+        }
+    }
+    if (starvedDsts.empty())
+        return;
+    std::set<int> fds;
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        for (NodeId dst : starvedDsts) {
+            auto it = n.pairFd.find(dst);
+            if (it != n.pairFd.end())
+                fds.insert(it->second);
+        }
+    }
+    if (fds.empty())
+        return;
+    std::lock_guard<std::mutex> lock(n.recvMutex);
+    if (!n.parked.empty())
+        stageParked(node, n, &fds);
 }
 
 bool
@@ -321,23 +552,31 @@ TcpTransport::poll(NodeId dst, NetMessage &out)
     if (!n.selfBox.empty()) {
         out = std::move(n.selfBox.front());
         n.selfBox.pop_front();
+        ++n.recvVersion;
         return true;
     }
-    for (std::size_t i = 0; i < n.dataConns.size(); ++i) {
-        DataConn &c = n.dataConns[i];
-        if (!readableNow(c.fd))
-            continue;
-        std::uint8_t hdr[frame::dataHeaderBytes];
-        if (!recvFully(c.fd, hdr, sizeof(hdr))) {
-            ::close(c.fd);
-            n.dataConns.erase(n.dataConns.begin() + i--);
-            continue;
+    if (!n.staged.empty()) {
+        out = std::move(n.staged.front());
+        n.staged.pop_front();
+        ++n.recvVersion;
+        if (!out.payload.empty())
+            queueGrant(dst, out.src, out.tag,
+                       static_cast<std::uint32_t>(out.payload.size()));
+        return true;
+    }
+    if (!n.parked.empty()) {
+        Parked p = n.parked.front();
+        n.parked.erase(n.parked.begin());
+        ++n.recvVersion;
+        out = NetMessage{p.src, dst, p.tag, {}};
+        if (p.len) {
+            out.payload.resize(p.len);
+            panicIf(!recvFully(p.fd, out.payload.data(), p.len),
+                    "peer closed mid-frame");
         }
-        frame::DataHeader h = frame::decodeDataHeader(hdr);
-        out = NetMessage{h.src, dst, h.tag, {}};
-        out.payload.resize(h.len);
-        if (h.len)
-            recvFully(c.fd, out.payload.data(), h.len);
+        epollAdd(dst, packToken(FdKind::Pair, p.src, p.fd), p.fd);
+        if (p.len)
+            queueGrant(dst, p.src, p.tag, p.len);
         return true;
     }
     return false;
@@ -352,29 +591,50 @@ TcpTransport::pollTag(NodeId dst, int tag, NetMessage &out)
         if (it->tag == tag) {
             out = std::move(*it);
             n.selfBox.erase(it);
+            ++n.recvVersion;
+            n.lastMiss.erase(tag);
             return true;
         }
     }
-    // One connection per (src, tag) stream: frames for other tags
-    // live on other sockets, so "skip and retain" costs nothing —
-    // their bytes are simply not read yet.
-    for (std::size_t i = 0; i < n.dataConns.size(); ++i) {
-        DataConn &c = n.dataConns[i];
-        if (c.tag != tag || !readableNow(c.fd))
+    for (auto it = n.staged.begin(); it != n.staged.end(); ++it) {
+        if (it->tag != tag)
             continue;
-        std::uint8_t hdr[frame::dataHeaderBytes];
-        if (!recvFully(c.fd, hdr, sizeof(hdr))) {
-            ::close(c.fd);
-            n.dataConns.erase(n.dataConns.begin() + i--);
-            continue;
-        }
-        frame::DataHeader h = frame::decodeDataHeader(hdr);
-        out = NetMessage{h.src, dst, h.tag, {}};
-        out.payload.resize(h.len);
-        if (h.len)
-            recvFully(c.fd, out.payload.data(), h.len);
+        out = std::move(*it);
+        n.staged.erase(it);
+        ++n.recvVersion;
+        n.lastMiss.erase(tag);
+        if (!out.payload.empty())
+            queueGrant(dst, out.src, tag,
+                       static_cast<std::uint32_t>(out.payload.size()));
         return true;
     }
+    for (std::size_t i = 0; i < n.parked.size(); ++i) {
+        if (n.parked[i].tag != tag)
+            continue;
+        Parked p = n.parked[i];
+        n.parked.erase(n.parked.begin() + i);
+        ++n.recvVersion;
+        n.lastMiss.erase(tag);
+        out = NetMessage{p.src, dst, p.tag, {}};
+        if (p.len) {
+            out.payload.resize(p.len);
+            panicIf(!recvFully(p.fd, out.payload.data(), p.len),
+                    "peer closed mid-frame");
+        }
+        epollAdd(dst, packToken(FdKind::Pair, p.src, p.fd), p.fd);
+        if (p.len)
+            queueGrant(dst, p.src, p.tag, p.len);
+        return true;
+    }
+    // Miss. A second miss with no intervening receive-side change
+    // means the consumer is stuck behind parked misfits: stage them
+    // so the connections (which may carry this tag further back)
+    // keep moving.
+    auto mit = n.lastMiss.find(tag);
+    if (mit != n.lastMiss.end() && mit->second == n.recvVersion &&
+        !n.parked.empty())
+        stageParked(dst, n);
+    n.lastMiss[tag] = n.recvVersion;
     return false;
 }
 
@@ -388,6 +648,8 @@ TcpTransport::pollTagInto(NodeId dst, int tag, const ReserveFn &reserve)
             continue;
         NetMessage msg = std::move(*it);
         n.selfBox.erase(it);
+        ++n.recvVersion;
+        n.lastMiss.erase(tag);
         if (msg.payload.empty())
             return 0;
         std::uint8_t *to = reserve(msg.payload.size());
@@ -395,29 +657,54 @@ TcpTransport::pollTagInto(NodeId dst, int tag, const ReserveFn &reserve)
         std::memcpy(to, msg.payload.data(), msg.payload.size());
         return static_cast<std::ptrdiff_t>(msg.payload.size());
     }
-    for (std::size_t i = 0; i < n.dataConns.size(); ++i) {
-        DataConn &c = n.dataConns[i];
-        if (c.tag != tag || !readableNow(c.fd))
+    for (auto it = n.staged.begin(); it != n.staged.end(); ++it) {
+        if (it->tag != tag)
             continue;
-        std::uint8_t hdr[frame::dataHeaderBytes];
-        if (!recvFully(c.fd, hdr, sizeof(hdr))) {
-            ::close(c.fd);
-            n.dataConns.erase(n.dataConns.begin() + i--);
+        NetMessage msg = std::move(*it);
+        n.staged.erase(it);
+        ++n.recvVersion;
+        n.lastMiss.erase(tag);
+        if (msg.payload.empty())
+            return 0;
+        // Staged delivery: the frame already paid its one staging
+        // copy, so this is not a zero-copy receive — recv_into_bytes
+        // intentionally excludes it.
+        std::uint8_t *to = reserve(msg.payload.size());
+        panicIf(to == nullptr, "pollTagInto: reserve returned null");
+        std::memcpy(to, msg.payload.data(), msg.payload.size());
+        queueGrant(dst, msg.src, tag,
+                   static_cast<std::uint32_t>(msg.payload.size()));
+        return static_cast<std::ptrdiff_t>(msg.payload.size());
+    }
+    for (std::size_t i = 0; i < n.parked.size(); ++i) {
+        if (n.parked[i].tag != tag)
             continue;
+        Parked p = n.parked[i];
+        n.parked.erase(n.parked.begin() + i);
+        ++n.recvVersion;
+        n.lastMiss.erase(tag);
+        if (p.len == 0) {
+            // End-of-stream marker: reserve untouched.
+            epollAdd(dst, packToken(FdKind::Pair, p.src, p.fd), p.fd);
+            return 0;
         }
-        frame::DataHeader h = frame::decodeDataHeader(hdr);
-        if (h.len == 0)
-            return 0; // end-of-stream marker: reserve untouched
         // The zero-copy handoff: recv() straight into caller-posted
         // storage (old-gen chunk space on the Skyway receive path).
-        std::uint8_t *to = reserve(h.len);
+        std::uint8_t *to = reserve(p.len);
         panicIf(to == nullptr, "pollTagInto: reserve returned null");
-        recvFully(c.fd, to, h.len);
-        wire_.recvIntoBytes.fetch_add(h.len,
+        panicIf(!recvFully(p.fd, to, p.len), "peer closed mid-frame");
+        wire_.recvIntoBytes.fetch_add(p.len,
                                       std::memory_order_relaxed);
-        TcpMetrics::get().recvIntoBytes.add(h.len);
-        return static_cast<std::ptrdiff_t>(h.len);
+        TcpMetrics::get().recvIntoBytes.add(p.len);
+        epollAdd(dst, packToken(FdKind::Pair, p.src, p.fd), p.fd);
+        queueGrant(dst, p.src, p.tag, p.len);
+        return static_cast<std::ptrdiff_t>(p.len);
     }
+    auto mit = n.lastMiss.find(tag);
+    if (mit != n.lastMiss.end() && mit->second == n.recvVersion &&
+        !n.parked.empty())
+        stageParked(dst, n);
+    n.lastMiss[tag] = n.recvVersion;
     return -1;
 }
 
@@ -523,19 +810,15 @@ TcpTransport::request(NodeId src, NodeId dst, int tag,
 }
 
 void
-TcpTransport::acceptPending(Node &n)
+TcpTransport::acceptPending(NodeId node)
 {
+    Node &n = *nodes_[node];
     while (true) {
-        pollfd p{n.listenFd, POLLIN, 0};
-        int rc = ::poll(&p, 1, 0);
-        if (rc < 0 && errno == EINTR)
-            continue;
-        if (rc <= 0)
-            return;
         int fd = ::accept(n.listenFd, nullptr, nullptr);
         if (fd < 0) {
-            if (errno == EINTR || errno == EAGAIN ||
-                errno == EWOULDBLOCK)
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
                 return;
             sysErr("accept");
         }
@@ -548,13 +831,44 @@ TcpTransport::acceptPending(Node &n)
         frame::Handshake h{};
         if (!frame::decodeHandshake(buf, h))
             panic("TcpTransport: bad handshake magic");
+        panicIf(h.src < 0 || h.src >= nodeCount_,
+                "TcpTransport: handshake from out-of-range node id");
         if (h.channel == frame::channelData) {
-            std::lock_guard<std::mutex> lock(n.recvMutex);
-            n.dataConns.push_back(DataConn{fd, h.src, h.tag});
+            {
+                std::lock_guard<std::mutex> lock(poolMutex_);
+                panicIf(n.pairFd.count(h.src) != 0,
+                        "TcpTransport: duplicate pair connection "
+                        "from node " + std::to_string(h.src));
+                n.pairFd.emplace(h.src, fd);
+                PairEntry &e = pool_[pairKey(node, h.src)];
+                if (!e.claimed) {
+                    // An externally initiated connection (tests):
+                    // count it like a claim would have.
+                    e.claimed = true;
+                    wire_.connectionsPooled.fetch_add(
+                        1, std::memory_order_relaxed);
+                    TcpMetrics::get().pooledConnections.add(1);
+                }
+            }
+            epollAdd(node, packToken(FdKind::Pair, h.src, fd), fd);
         } else {
             n.ctrlIn.push_back(fd);
+            epollAdd(node, packToken(FdKind::Ctrl, h.src, fd), fd);
         }
     }
+}
+
+void
+TcpTransport::dropPair(NodeId node, NodeId peer, int fd)
+{
+    Node &n = *nodes_[node];
+    ::close(fd); // also removes it from the epoll set
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    auto it = n.pairFd.find(peer);
+    if (it != n.pairFd.end() && it->second == fd)
+        n.pairFd.erase(it);
+    if (pool_.erase(pairKey(node, peer)))
+        TcpMetrics::get().pooledConnections.add(-1);
 }
 
 bool
@@ -592,57 +906,213 @@ TcpTransport::serveControl(NodeId node, int fd)
 }
 
 void
-TcpTransport::pumpLoop(NodeId node)
+TcpTransport::handlePairReadable(NodeId node, NodeId peer, int fd)
 {
     Node &n = *nodes_[node];
-    while (running_.load(std::memory_order_relaxed)) {
-        // Drain outbound frames first. Writes may block on TCP
-        // backpressure; consumers drain their ends concurrently, so
-        // progress is guaranteed without buffering the queue twice.
-        while (true) {
-            Node::TxFrame tx;
-            {
-                std::lock_guard<std::mutex> lock(n.sendMutex);
-                if (n.txQueue.empty())
-                    break;
-                tx = std::move(n.txQueue.front());
-                n.txQueue.pop_front();
-            }
-            writeTimed(tx.fd, tx.header.data(), tx.header.size());
-            if (!tx.payload.empty())
-                writeTimed(tx.fd, tx.payload.data(),
-                           tx.payload.size());
-            wire_.framesSent.fetch_add(1, std::memory_order_relaxed);
-            TcpMetrics::get().framesSent.inc();
+    std::uint8_t hdr[frame::muxHeaderBytes];
+    if (!recvFully(fd, hdr, sizeof(hdr))) {
+        dropPair(node, peer, fd);
+        return;
+    }
+    frame::MuxHeader h = frame::decodeMuxHeader(hdr);
+    if (h.kind == frame::kindCredit) {
+        std::lock_guard<std::mutex> lock(n.sendMutex);
+        auto it = n.streams.find(std::make_pair(peer, h.tag));
+        if (it == n.streams.end())
+            return; // grant for a stream we no longer track
+        TxStream &s = it->second;
+        s.credit += h.arg;
+        if (s.stalled && s.credit > 0) {
+            s.stalled = false;
+            std::uint64_t ns = monoNs() - s.stallStartNs;
+            wire_.creditStallsNs.fetch_add(ns,
+                                           std::memory_order_relaxed);
+            TcpMetrics::get().creditStallsNs.add(ns);
         }
+        return; // the loop drains sends right after the event batch
+    }
+    panicIf(h.kind != frame::kindStream,
+            "TcpTransport: unexpected mux frame kind");
+    panicIf(h.origin != peer,
+            "TcpTransport: mux frame origin does not match peer");
+    // Park the frame: payload stays in the kernel until a consumer
+    // claims it (zero-copy) or staging relieves head-of-line.
+    std::lock_guard<std::mutex> lock(n.recvMutex);
+    epollDel(node, fd);
+    n.parked.push_back(Parked{fd, peer, h.tag, h.arg});
+    ++n.recvVersion;
+}
 
-        std::vector<pollfd> fds;
-        fds.push_back(pollfd{n.wakeRead, POLLIN, 0});
-        fds.push_back(pollfd{n.listenFd, POLLIN, 0});
-        for (int fd : n.ctrlIn)
-            fds.push_back(pollfd{fd, POLLIN, 0});
+void
+TcpTransport::drainGrants(NodeId node)
+{
+    Node &n = *nodes_[node];
+    std::deque<Grant> pending;
+    {
+        std::lock_guard<std::mutex> lock(n.sendMutex);
+        pending.swap(n.grants);
+    }
+    for (const Grant &g : pending) {
+        int fd = -1;
+        {
+            std::lock_guard<std::mutex> lock(poolMutex_);
+            auto it = n.pairFd.find(g.peer);
+            if (it != n.pairFd.end())
+                fd = it->second;
+        }
+        if (fd < 0)
+            continue; // peer connection gone; its streams died too
+        frame::MuxHeader h{frame::kindCredit, node, g.tag, g.bytes};
+        std::uint8_t hdr[frame::muxHeaderBytes];
+        frame::encodeMuxHeader(hdr, h);
+        writeTimed(fd, hdr, sizeof(hdr));
+        wire_.framesSent.fetch_add(1, std::memory_order_relaxed);
+        TcpMetrics::get().framesSent.inc();
+    }
+}
 
-        int rc = ::poll(fds.data(), fds.size(), pumpPollMs);
+void
+TcpTransport::drainSends(NodeId node)
+{
+    Node &n = *nodes_[node];
+
+    // Destinations with anything queued, sampled under the lock...
+    std::vector<NodeId> dsts;
+    {
+        std::lock_guard<std::mutex> lock(n.sendMutex);
+        for (auto &[key, s] : n.streams) {
+            if (!s.queue.empty() &&
+                (dsts.empty() || dsts.back() != key.first))
+                dsts.push_back(key.first);
+        }
+    }
+    if (dsts.empty())
+        return;
+
+    // ...then pair fds resolved outside it (establishment may block
+    // on connect); -1 = peer mid-connect, skip until our accept.
+    std::map<NodeId, int> fds;
+    for (NodeId dst : dsts)
+        fds[dst] = pairFdOrClaim(node, dst);
+
+    // Pop every frame the credit windows allow, in per-stream FIFO
+    // order, then write outside the lock.
+    std::vector<TxFrame> batch;
+    bool popped = false;
+    {
+        std::lock_guard<std::mutex> lock(n.sendMutex);
+        for (auto &[key, s] : n.streams) {
+            auto fit = fds.find(key.first);
+            if (fit == fds.end() || fit->second < 0)
+                continue;
+            while (!s.queue.empty()) {
+                std::vector<std::uint8_t> &front = s.queue.front();
+                if (front.empty()) {
+                    // End of stream: no payload, no credit needed.
+                    TxFrame tx;
+                    tx.fd = fit->second;
+                    frame::MuxHeader h{frame::kindStream, node,
+                                       key.second, 0};
+                    frame::encodeMuxHeader(tx.header, h);
+                    batch.push_back(std::move(tx));
+                    s.queue.pop_front();
+                    s.active = false;
+                    TcpMetrics::get().streamsActive.add(-1);
+                    popped = true;
+                    continue;
+                }
+                if (s.credit <= 0) {
+                    if (!s.stalled) {
+                        s.stalled = true;
+                        s.stallStartNs = monoNs();
+                    }
+                    break; // later frames wait behind the head (FIFO)
+                }
+                s.credit -= static_cast<std::int64_t>(front.size());
+                s.queuedBytes -= front.size();
+                TxFrame tx;
+                tx.fd = fit->second;
+                frame::MuxHeader h{
+                    frame::kindStream, node, key.second,
+                    static_cast<std::uint32_t>(front.size())};
+                frame::encodeMuxHeader(tx.header, h);
+                tx.payload = std::move(front);
+                batch.push_back(std::move(tx));
+                s.queue.pop_front();
+                popped = true;
+            }
+        }
+    }
+    if (popped)
+        n.sendCv.notify_all();
+
+    for (TxFrame &tx : batch) {
+        writeTimed(tx.fd, tx.header, sizeof(tx.header));
+        if (!tx.payload.empty())
+            writeTimed(tx.fd, tx.payload.data(), tx.payload.size());
+        wire_.framesSent.fetch_add(1, std::memory_order_relaxed);
+        TcpMetrics::get().framesSent.inc();
+    }
+}
+
+void
+TcpTransport::eventLoop(NodeId node)
+{
+    if (options_.pinEventLoops) {
+        unsigned hw = std::thread::hardware_concurrency();
+        if (hw > 0) {
+            cpu_set_t set;
+            CPU_ZERO(&set);
+            CPU_SET(static_cast<unsigned>(node) % hw, &set);
+            ::pthread_setaffinity_np(::pthread_self(), sizeof(set),
+                                     &set);
+        }
+    }
+
+    Node &n = *nodes_[node];
+    while (running_.load(std::memory_order_relaxed)) {
+        drainGrants(node);
+        drainSends(node);
+        rescueStalledStreams(node);
+
+        epoll_event evs[64];
+        int rc = ::epoll_wait(n.epollFd, evs, 64, loopWaitMs);
         if (rc < 0) {
             if (errno == EINTR)
                 continue;
-            sysErr("poll");
+            sysErr("epoll_wait");
         }
+        if (rc == 0)
+            continue;
+        wire_.epollWakeups.fetch_add(1, std::memory_order_relaxed);
+        TcpMetrics::get().epollWakeups.inc();
 
-        if (fds[0].revents & POLLIN) {
-            std::uint8_t buf[64];
-            while (::read(n.wakeRead, buf, sizeof(buf)) > 0) {
-            }
-        }
-        if (fds[1].revents & POLLIN)
-            acceptPending(n);
-        for (std::size_t i = 2; i < fds.size(); ++i) {
-            if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
-                continue;
-            if (!serveControl(node, fds[i].fd)) {
-                ::close(fds[i].fd);
-                n.ctrlIn.erase(std::find(n.ctrlIn.begin(),
-                                         n.ctrlIn.end(), fds[i].fd));
+        for (int i = 0; i < rc; ++i) {
+            std::uint64_t token = evs[i].data.u64;
+            auto kind = static_cast<FdKind>(token >> 56);
+            int fd = static_cast<int>(
+                static_cast<std::uint32_t>(token & 0xFFFFFFFF));
+            NodeId peer = static_cast<NodeId>((token >> 32) & 0xFFFFFF);
+            switch (kind) {
+              case FdKind::Wake: {
+                  std::uint8_t buf[64];
+                  while (::read(n.wakeRead, buf, sizeof(buf)) > 0) {
+                  }
+                  break;
+              }
+              case FdKind::Listen:
+                acceptPending(node);
+                break;
+              case FdKind::Pair:
+                handlePairReadable(node, peer, fd);
+                break;
+              case FdKind::Ctrl:
+                if (!serveControl(node, fd)) {
+                    ::close(fd); // close also leaves the epoll set
+                    n.ctrlIn.erase(std::find(n.ctrlIn.begin(),
+                                             n.ctrlIn.end(), fd));
+                }
+                break;
             }
         }
     }

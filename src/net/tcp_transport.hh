@@ -1,32 +1,52 @@
 /**
  * @file
- * The real-socket transport: every node owns a loopback TCP listener
- * and a poll()-based pump thread; bytes genuinely cross the kernel's
- * TCP stack, so the modeled `net.wire_ns` clocks finally have a
- * `net.real_wire_ns` to be validated against.
+ * The real-socket transport, multiplexed for hundred-node fabrics:
+ * every node owns a loopback TCP listener and one epoll(7) event
+ * loop; bytes genuinely cross the kernel's TCP stack, so the modeled
+ * `net.wire_ns` clocks have a `net.real_wire_ns` to be validated
+ * against. The wire format lives in net/frame.hh; the full protocol
+ * story (diagrams, credit rules, failure semantics) in
+ * docs/TRANSPORT.md.
  *
- * Topology (see net/frame.hh for the wire encoding):
+ * Topology:
  *
- *  - Data plane: one connection per (src, dst, tag) stream, created
- *    lazily by the first send and announced with a handshake carrying
- *    the sender's NodeId and the stream tag. send() never blocks the
- *    caller: frames are queued to the source node's pump thread,
- *    which writes them in order (mailbox semantics survive TCP
- *    backpressure). Receives are consumer-driven: pollTag() reads
- *    only connections carrying the wanted tag, and pollTagInto()
- *    recv()s the payload *directly into ReserveFn-posted storage* —
- *    old-gen chunk space on the Skyway receive path — so the
- *    zero-copy handoff survives the wire (`net.recv_into_bytes`
- *    counts exactly these bytes).
+ *  - Data plane: exactly ONE connection per unordered node pair,
+ *    established lazily by whichever side sends first (a transport-
+ *    wide pool arbitrates so a cross in the race still yields one
+ *    connection — `net.pooled_connections` gauges the pool). Every
+ *    (src, dst, tag) stream between the two nodes is multiplexed
+ *    onto that connection as tagged, length-prefixed mux frames, so
+ *    an N-node all-to-all costs N·(N−1)/2 sockets instead of the old
+ *    per-stream N²·tags.
  *
- *  - Control plane: one connection per (src, dst) node pair carrying
- *    request/reply frames for the blocking request() round trip (the
- *    type-registry LOOKUP daemon). The destination node's pump
- *    thread reads requests, runs the registered handler, and writes
- *    the reply. The requester waits with a timeout and resends up to
- *    a bounded retry budget (`net.connect_retries`), matching stale
- *    replies away by request id — which is why handlers on this path
- *    must be idempotent.
+ *  - Demultiplexing: the owning node's event loop reads only frame
+ *    *headers*. A data frame is "parked" — the fd leaves the epoll
+ *    set with the payload still unread in the kernel — until a
+ *    consumer claims it: pollTagInto() then recv()s the payload
+ *    *directly into ReserveFn-posted storage* (old-gen chunk space on
+ *    the Skyway receive path), which is how the zero-copy handoff
+ *    survives multiplexing (`net.recv_into_bytes` counts exactly
+ *    these bytes). A consumer that insists on a tag the parked
+ *    frames don't carry forces the misfits into a staging buffer
+ *    (one copy) so the connection behind them keeps moving — see
+ *    docs/TRANSPORT.md §5 for the head-of-line rules.
+ *
+ *  - Backpressure: per-stream byte credit. A sender's event loop
+ *    writes a stream's frames only while the stream has window left;
+ *    receivers grant credit back as payloads are delivered to
+ *    consumers. A slow receiver therefore stalls the one stream
+ *    (`net.credit_stalls_ns`) instead of ballooning sender memory.
+ *    Because pair connections are full-duplex, the grant that would
+ *    unstall a stream can arrive *behind* a parked inbound data
+ *    frame on the same socket; a stream stalled past a rescue
+ *    threshold forces that connection's parked frames into the
+ *    staging buffer so the grant becomes readable (TRANSPORT.md §5).
+ *
+ *  - Control plane: unchanged request/reply connections per (src,
+ *    dst) direction for the blocking request() round trip (the
+ *    type-registry LOOKUP daemon), served by the destination's event
+ *    loop, with timeout/resend and stale-reply filtering by request
+ *    id — handlers on this path must be idempotent.
  *
  * poll/pollTag/pollTagInto are non-blocking probes exactly like the
  * model transport's: "false / -1" means nothing has *arrived yet*,
@@ -37,9 +57,11 @@
 #ifndef SKYWAY_NET_TCP_TRANSPORT_HH
 #define SKYWAY_NET_TCP_TRANSPORT_HH
 
+#include <condition_variable>
 #include <deque>
 #include <map>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <utility>
 
@@ -51,7 +73,8 @@ namespace skyway
 class TcpTransport final : public Transport
 {
   public:
-    TcpTransport(int node_count, WireCounters &wire);
+    TcpTransport(int node_count, WireCounters &wire,
+                 const TransportOptions &options = {});
     ~TcpTransport() override;
 
     TcpTransport(const TcpTransport &) = delete;
@@ -75,12 +98,46 @@ class TcpTransport final : public Transport
     std::uint16_t listenPort(NodeId node) const;
 
   private:
-    /** One accepted data-plane connection (fixed src and tag). */
-    struct DataConn
+    /**
+     * A data frame whose header the event loop has read: the fd has
+     * left the epoll set and the payload's @p len bytes are still
+     * unread in the kernel, waiting for a consumer to claim them
+     * (zero-copy) or stage them (head-of-line relief).
+     */
+    struct Parked
     {
         int fd;
         NodeId src;
         int tag;
+        std::uint32_t len;
+    };
+
+    /**
+     * Send-side state of one (this node -> dst, tag) stream: queued
+     * payloads (an empty vector is the end-of-stream marker) and the
+     * credit window. Only the head of the queue is ever eligible to
+     * write — a stalled head holds later frames (including EOS) back,
+     * preserving stream FIFO.
+     */
+    struct TxStream
+    {
+        std::deque<std::vector<std::uint8_t>> queue;
+        std::size_t queuedBytes = 0;
+        /** May go negative transiently: a frame is written whole once
+         *  any window remains. */
+        std::int64_t credit = 0;
+        bool stalled = false;
+        std::uint64_t stallStartNs = 0;
+        /** True between first frame queued and EOS written. */
+        bool active = false;
+    };
+
+    /** A pending credit grant this node's loop owes a peer. */
+    struct Grant
+    {
+        NodeId peer;
+        int tag;
+        std::uint32_t bytes;
     };
 
     /** Everything one node owns. */
@@ -88,35 +145,37 @@ class TcpTransport final : public Transport
     {
         int listenFd = -1;
         std::uint16_t port = 0;
+        int epollFd = -1;
 
-        /** Wakes the pump out of poll() (self-pipe). */
+        /** Wakes the loop out of epoll_wait (self-pipe). */
         int wakeRead = -1;
         int wakeWrite = -1;
 
         /**
-         * Inbound data connections plus local (src == dst)
-         * deliveries, shared between the pump (which registers
-         * accepted connections) and consumer threads (which read
-         * them).
+         * Receive side, shared between the loop (parks frames) and
+         * consumer threads (claim parked frames, stage misfits):
+         * local deliveries, staged copies, parked frames, and the
+         * per-tag miss tracking that decides when staging is forced.
          */
         std::mutex recvMutex;
-        std::vector<DataConn> dataConns;
         std::deque<NetMessage> selfBox;
+        std::deque<NetMessage> staged;
+        std::vector<Parked> parked;
+        /** Bumped whenever parked/staged state changes; a tag that
+         *  misses twice at the same version forces staging. */
+        std::uint64_t recvVersion = 0;
+        std::map<int, std::uint64_t> lastMiss;
 
-        /** One queued data frame: header + payload, written back to
-         *  back by the pump (the payload vector is the sender's own
-         *  buffer, moved — no send-side staging copy). */
-        struct TxFrame
-        {
-            int fd;
-            std::vector<std::uint8_t> header;
-            std::vector<std::uint8_t> payload;
-        };
-
-        /** Outbound frame queue, drained by this node's pump. */
+        /** Send side: per-stream queues drained by this node's loop,
+         *  plus credit grants owed to peers. */
         std::mutex sendMutex;
-        std::map<std::pair<NodeId, int>, int> dataOut;
-        std::deque<TxFrame> txQueue;
+        std::condition_variable sendCv;
+        std::map<std::pair<NodeId, int>, TxStream> streams;
+        std::deque<Grant> grants;
+
+        /** This node's end of each established pair connection,
+         *  keyed by peer; guarded by the transport-wide poolMutex_. */
+        std::map<NodeId, int> pairFd;
 
         /** Outbound control connections, one per destination; the
          *  per-destination mutex serializes request/reply exchanges
@@ -126,32 +185,86 @@ class TcpTransport final : public Transport
         std::map<NodeId, std::unique_ptr<std::mutex>> ctrlPair;
         std::uint32_t nextReqId = 1;
 
-        /** Inbound control connections; pump-owned, no lock. */
+        /** Inbound control connections; loop-owned, no lock. */
         std::vector<int> ctrlIn;
 
-        std::thread pump;
+        std::thread loop;
     };
 
-    void pumpLoop(NodeId node);
-    void wakePump(NodeId node);
-    void acceptPending(Node &n);
+    /** One write-ready frame drained out of the stream queues. */
+    struct TxFrame
+    {
+        int fd;
+        std::uint8_t header[13]; // frame::muxHeaderBytes
+        std::vector<std::uint8_t> payload;
+    };
+
+    void eventLoop(NodeId node);
+    void wakeLoop(NodeId node);
+    void acceptPending(NodeId node);
+    void handlePairReadable(NodeId node, NodeId peer, int fd);
+    /** Drop @p peer's pair connection after an orderly EOF. */
+    void dropPair(NodeId node, NodeId peer, int fd);
+    void drainGrants(NodeId node);
+    void drainSends(NodeId node);
     /** Serve one request frame from @p fd; false when the peer hung
      *  up (the fd is closed and must be dropped). */
     bool serveControl(NodeId node, int fd);
+
+    /** Add @p fd to @p node's epoll set, tagged for classification. */
+    void epollAdd(NodeId node, std::uint64_t token, int fd);
+    void epollDel(NodeId node, int fd);
+
+    /**
+     * This node's end of the pair connection toward @p dst,
+     * establishing it if nobody has; -1 when the peer is mid-connect
+     * and our accept will complete the pair shortly (callers skip and
+     * retry on the next loop iteration — never wait).
+     */
+    int pairFdOrClaim(NodeId node, NodeId dst);
 
     /** Connect to @p dst's listener and send @p shake; retries (and
      *  counts) transient failures. */
     int connectTo(NodeId dst, const std::uint8_t *shake,
                   std::size_t shake_len);
-    int dataConnFor(Node &n, NodeId src, NodeId dst, int tag);
     int ctrlConnFor(Node &n, NodeId src, NodeId dst);
+
+    /** Deliver payload bytes back to @p src's credit window (and
+     *  wake our loop to write the grant frame). */
+    void queueGrant(NodeId node, NodeId src, int tag,
+                    std::uint32_t bytes);
+
+    /** Read parked frames' payloads into staged-side storage, re-arm
+     *  their fds, and record the copies; recvMutex held. With
+     *  @p onlyFds, stages just the frames parked on those fds
+     *  (others stay parked, order preserved). */
+    void stageParked(NodeId node, Node &n,
+                     const std::set<int> *onlyFds = nullptr);
+
+    /** Deadlock guard run every loop iteration: a stream stalled on
+     *  credit past the rescue threshold may be waiting on a grant
+     *  trapped behind a parked inbound frame on the same (full-
+     *  duplex) pair connection — stage exactly those connections'
+     *  parked frames so the grant becomes readable. */
+    void rescueStalledStreams(NodeId node);
 
     /** Write all of @p buf to @p fd, timing it into realWireNs. */
     void writeTimed(int fd, const std::uint8_t *buf, std::size_t len);
 
     int nodeCount_;
     WireCounters &wire_;
+    TransportOptions options_;
     std::vector<std::unique_ptr<Node>> nodes_;
+
+    /** Pair-pool arbitration: which unordered pairs have (or are
+     *  getting) their one data connection. */
+    struct PairEntry
+    {
+        bool claimed = false;
+    };
+    std::mutex poolMutex_;
+    std::map<std::pair<NodeId, NodeId>, PairEntry> pool_;
+
     std::mutex handlerMutex_;
     std::vector<RequestHandler> handlers_;
     std::atomic<bool> running_{true};

@@ -30,13 +30,14 @@ parseTransportKind(std::string_view name)
 }
 
 std::unique_ptr<Transport>
-makeTransport(TransportKind kind, int node_count, WireCounters &wire)
+makeTransport(TransportKind kind, int node_count, WireCounters &wire,
+              const TransportOptions &options)
 {
     switch (kind) {
       case TransportKind::Model:
         return std::make_unique<ModelTransport>(node_count);
       case TransportKind::Tcp:
-        return std::make_unique<TcpTransport>(node_count, wire);
+        return std::make_unique<TcpTransport>(node_count, wire, options);
     }
     panic("makeTransport: unknown kind");
 }

@@ -7,9 +7,11 @@
  *  - ModelTransport: the in-process mailboxes the repository started
  *    with — messages move instantly, wire time exists only on the
  *    simulated per-node clocks (net/model_transport.hh);
- *  - TcpTransport: real loopback TCP sockets with length-prefixed
- *    (src, tag, len) frames and a per-node poll() pump thread
- *    (net/tcp_transport.hh).
+ *  - TcpTransport: real loopback TCP sockets — one multiplexed data
+ *    connection per node pair carrying tagged, length-prefixed
+ *    frames, demultiplexed by one epoll event loop per node, with
+ *    bounded per-stream credit for backpressure (net/tcp_transport.hh
+ *    and docs/TRANSPORT.md).
  *
  * Both present identical delivery semantics (reliable, per-(src,tag)
  * FIFO, zero-length payload = end of stream), so every consumer —
@@ -73,6 +75,43 @@ struct RequestOptions
 };
 
 /**
+ * Construction-time knobs for a transport. Only the TCP transport
+ * reads them; the model transport has no wire to tune. Environment
+ * variables override these defaults so benches can sweep without a
+ * rebuild: SKYWAY_NET_CREDIT_BYTES, SKYWAY_NET_QUEUE_LIMIT,
+ * SKYWAY_NET_AFFINITY=1 (see docs/TRANSPORT.md §6).
+ */
+struct TransportOptions
+{
+    /**
+     * Per-stream receive credit window in bytes: a sender may have at
+     * most this many un-granted payload bytes on the wire per
+     * (src, dst, tag) stream before its frames wait in the send queue
+     * (time spent waiting counts in `net.credit_stalls_ns`). The
+     * receiver grants credit back as payloads are delivered into
+     * consumer storage. Must be > 0.
+     */
+    std::size_t creditWindowBytes = std::size_t{1} << 20;
+
+    /**
+     * Optional bound on *queued* (not yet written) bytes per stream;
+     * 0 = unbounded, preserving send()'s fire-and-forget contract.
+     * When set, send() blocks the caller once the stream's queue
+     * exceeds the limit — only safe for callers that drain from a
+     * separate thread.
+     */
+    std::size_t maxQueuedBytesPerStream = 0;
+
+    /**
+     * Pin node i's event loop to hardware core i mod
+     * hardware_concurrency (DShuffle-style core affinity). Off by
+     * default: on small hosts pinning every loop to the same core
+     * serialises the fabric.
+     */
+    bool pinEventLoops = false;
+};
+
+/**
  * Per-fabric wire counters a Transport maintains while it moves
  * bytes. Owned by the ClusterNetwork (so resetAccounting() clears
  * them between bench phases) and mirrored into the process-wide
@@ -81,7 +120,8 @@ struct RequestOptions
  */
 struct WireCounters
 {
-    /** Frames written to a socket (data, requests, replies). */
+    /** Frames written to a socket (data, credit grants, requests,
+     *  replies). */
     std::atomic<std::uint64_t> framesSent{0};
     /** Connect attempts beyond the first, plus request resends. */
     std::atomic<std::uint64_t> connectRetries{0};
@@ -89,6 +129,12 @@ struct WireCounters
     std::atomic<std::uint64_t> recvIntoBytes{0};
     /** Wall nanoseconds spent in socket writes. */
     std::atomic<std::uint64_t> realWireNs{0};
+    /** Wall nanoseconds streams spent stalled on exhausted credit. */
+    std::atomic<std::uint64_t> creditStallsNs{0};
+    /** Event-loop epoll_wait() returns that reported ready fds. */
+    std::atomic<std::uint64_t> epollWakeups{0};
+    /** Data connections established into the pair pool (cumulative). */
+    std::atomic<std::uint64_t> connectionsPooled{0};
 
     void
     reset()
@@ -97,6 +143,9 @@ struct WireCounters
         connectRetries.store(0, std::memory_order_relaxed);
         recvIntoBytes.store(0, std::memory_order_relaxed);
         realWireNs.store(0, std::memory_order_relaxed);
+        creditStallsNs.store(0, std::memory_order_relaxed);
+        epollWakeups.store(0, std::memory_order_relaxed);
+        connectionsPooled.store(0, std::memory_order_relaxed);
     }
 };
 
@@ -121,7 +170,7 @@ class Transport
      * A synchronous request handler a node may register (the type
      * registry driver's daemon, paper Algorithm 1 part 2). Receives
      * the request payload, returns the reply payload. On the TCP
-     * transport it runs on the destination node's pump thread.
+     * transport it runs on the destination node's event loop.
      */
     using RequestHandler =
         std::function<std::vector<std::uint8_t>(NodeId src, int tag,
@@ -180,7 +229,8 @@ class Transport
 /** Construct the transport behind one fabric of @p node_count nodes. */
 std::unique_ptr<Transport> makeTransport(TransportKind kind,
                                          int node_count,
-                                         WireCounters &wire);
+                                         WireCounters &wire,
+                                         const TransportOptions &options = {});
 
 } // namespace skyway
 

@@ -203,6 +203,10 @@ TEST(SparkAccounting, SkywayShipsMoreBytesButLessSerDeTime)
 {
     // The paper's core tradeoff on a real workload: Skyway moves more
     // bytes than Kryo yet spends far less combined S/D time.
+#ifdef SKYWAY_SANITIZER_BUILD
+    GTEST_SKIP() << "real-time assertion; sanitizer overhead distorts "
+                    "the skyway/kryo S+D ratio";
+#endif
     GraphSpec spec{"t", 400, 4000, 2.0, 77, ""};
     EdgeList g = generateGraph(spec);
     const int iters = 3;

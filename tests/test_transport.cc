@@ -6,9 +6,17 @@
  * and tcp transports, the zero-copy receive path over real sockets,
  * request timeout/retry, and the full Skyway round-trip suite
  * (socket streams, parallel fan-out, type-registry LOOKUP) on TCP.
- * Labeled `transport` and `concurrency` so the TSan matrix runs the
- * whole binary against the pump threads.
+ * The multiplexed-fabric cases — interleaved tags on one pooled
+ * connection, credit exhaustion and resume, peer disconnect at and
+ * inside a frame edge, a 64-node smoke, parity at 16 nodes — live
+ * here too. Labeled `transport` and `concurrency` so the TSan matrix
+ * runs the whole binary against the per-node event loops.
  */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -20,6 +28,7 @@
 
 #include "net/cluster.hh"
 #include "net/frame.hh"
+#include "net/tcp_transport.hh"
 #include "skyway/parallel.hh"
 #include "skyway/streams.hh"
 #include "typereg/registry.hh"
@@ -59,19 +68,18 @@ awaitTag(ClusterNetwork &net, NodeId dst, int tag)
 
 TEST(Frame, HandshakeRoundTrip)
 {
-    frame::Handshake h{frame::channelData, 7, 42};
+    frame::Handshake h{frame::channelData, 7};
     std::uint8_t buf[frame::handshakeBytes];
     frame::encodeHandshake(buf, h);
     frame::Handshake out{};
     ASSERT_TRUE(frame::decodeHandshake(buf, out));
     EXPECT_EQ(out.channel, frame::channelData);
     EXPECT_EQ(out.src, 7);
-    EXPECT_EQ(out.tag, 42);
 }
 
 TEST(Frame, HandshakeRejectsBadMagic)
 {
-    frame::Handshake h{frame::channelControl, 1, 0};
+    frame::Handshake h{frame::channelControl, 1};
     std::uint8_t buf[frame::handshakeBytes];
     frame::encodeHandshake(buf, h);
     buf[0] ^= 0xFF;
@@ -79,15 +87,22 @@ TEST(Frame, HandshakeRejectsBadMagic)
     EXPECT_FALSE(frame::decodeHandshake(buf, out));
 }
 
-TEST(Frame, DataHeaderRoundTrip)
+TEST(Frame, MuxHeaderRoundTrip)
 {
-    frame::DataHeader h{3, -9, 123456};
-    std::uint8_t buf[frame::dataHeaderBytes];
-    frame::encodeDataHeader(buf, h);
-    frame::DataHeader out = frame::decodeDataHeader(buf);
-    EXPECT_EQ(out.src, 3);
+    frame::MuxHeader h{frame::kindStream, 3, -9, 123456};
+    std::uint8_t buf[frame::muxHeaderBytes];
+    frame::encodeMuxHeader(buf, h);
+    frame::MuxHeader out = frame::decodeMuxHeader(buf);
+    EXPECT_EQ(out.kind, frame::kindStream);
+    EXPECT_EQ(out.origin, 3);
     EXPECT_EQ(out.tag, -9);
-    EXPECT_EQ(out.len, 123456u);
+    EXPECT_EQ(out.arg, 123456u);
+
+    frame::MuxHeader c{frame::kindCredit, 1, 5, 4096};
+    frame::encodeMuxHeader(buf, c);
+    out = frame::decodeMuxHeader(buf);
+    EXPECT_EQ(out.kind, frame::kindCredit);
+    EXPECT_EQ(out.arg, 4096u);
 }
 
 TEST(Frame, ControlHeaderRoundTrip)
@@ -263,11 +278,17 @@ TEST(TcpCluster, ResetAccountingClearsWireCounters)
     EXPECT_GT(net.realWireNs(), 0u);
     EXPECT_GT(net.totalBytesSent(0), 0u);
 
+    EXPECT_GT(net.pooledConnections(), 0u);
+    EXPECT_GT(net.epollWakeups(), 0u);
+
     net.resetAccounting();
     EXPECT_EQ(net.framesSent(), 0u);
     EXPECT_EQ(net.connectRetries(), 0u);
     EXPECT_EQ(net.recvIntoBytes(), 0u);
     EXPECT_EQ(net.realWireNs(), 0u);
+    EXPECT_EQ(net.creditStallsNs(), 0u);
+    EXPECT_EQ(net.epollWakeups(), 0u);
+    EXPECT_EQ(net.pooledConnections(), 0u);
     EXPECT_EQ(net.totalBytesSent(0), 0u);
     EXPECT_EQ(net.wireNs(0), 0u);
     EXPECT_EQ(net.messagesSent(0), 0u);
@@ -340,6 +361,283 @@ TEST(TcpCluster, ConcurrentSendersManyTags)
     }
     t1.join();
     t2.join();
+}
+
+TEST(TcpCluster, InterleavedTagsShareOneConnection)
+{
+    ClusterNetwork net(2, gigabitEthernet(), TransportKind::Tcp);
+    net.send(0, 1, 1, bytesOf("a1"));
+    net.send(0, 1, 2, bytesOf("b1"));
+    net.send(0, 1, 1, bytesOf("a2"));
+    net.send(0, 1, 2, bytesOf("b2"));
+    // Draining tag 2 ahead of tag 1 forces the parked tag-1 misfits
+    // through staging so the shared connection keeps moving; both
+    // streams must keep their own order.
+    EXPECT_EQ(str(awaitTag(net, 1, 2).payload), "b1");
+    EXPECT_EQ(str(awaitTag(net, 1, 2).payload), "b2");
+    EXPECT_EQ(str(awaitTag(net, 1, 1).payload), "a1");
+    EXPECT_EQ(str(awaitTag(net, 1, 1).payload), "a2");
+    // Two interleaved streams, one pooled pair connection.
+    EXPECT_EQ(net.pooledConnections(), 1u);
+    NetMessage m;
+    EXPECT_FALSE(net.poll(1, m));
+}
+
+TEST(TcpCluster, CreditExhaustionStallsThenResumes)
+{
+    TransportOptions topts;
+    topts.creditWindowBytes = 2048; // two 1 KiB frames in flight
+    ClusterNetwork net(2, gigabitEthernet(), TransportKind::Tcp,
+                       topts);
+    constexpr int frames = 10;
+    std::vector<std::uint8_t> payload(1024);
+    for (int i = 0; i < frames; ++i) {
+        payload[0] = static_cast<std::uint8_t>(i);
+        net.send(0, 1, 3, payload);
+    }
+    // Let the sender's loop run the 2 KiB window dry before anyone
+    // grants credit back.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    for (int i = 0; i < frames; ++i) {
+        NetMessage m = awaitTag(net, 1, 3);
+        ASSERT_EQ(m.payload.size(), payload.size());
+        EXPECT_EQ(m.payload[0], static_cast<std::uint8_t>(i));
+    }
+    // The stream stalled at least once and resumed on a grant.
+    EXPECT_GT(net.creditStallsNs(), 0u);
+    EXPECT_GT(net.epollWakeups(), 0u);
+}
+
+TEST(TcpCluster, CreditGrantBehindParkedFrameRescued)
+{
+    // Pair connections are full-duplex, so the grant that would
+    // unstall node 0's stream can arrive *behind* a parked inbound
+    // frame node 1 sent on the same socket. Both nodes send more
+    // than one window's worth and only node 1's tag is drained
+    // first: without the event loop's stall rescue (stage the
+    // stalled connection's parked frames so the trapped grant
+    // becomes readable) this deadlocks.
+    TransportOptions topts;
+    topts.creditWindowBytes = 2048; // exactly one frame in flight
+    ClusterNetwork net(2, gigabitEthernet(), TransportKind::Tcp,
+                       topts);
+    constexpr int frames = 4;
+    std::vector<std::uint8_t> payload(2048);
+    for (int i = 0; i < frames; ++i) {
+        payload[0] = static_cast<std::uint8_t>(i);
+        net.send(0, 1, 5, payload);
+        payload[0] = static_cast<std::uint8_t>(100 + i);
+        net.send(1, 0, 6, payload);
+    }
+    auto awaitTagBounded = [&](NodeId dst, int tag, NetMessage &m) {
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(30);
+        while (!net.pollTag(dst, tag, m)) {
+            if (std::chrono::steady_clock::now() > deadline)
+                return false;
+        }
+        return true;
+    };
+    for (int i = 0; i < frames; ++i) {
+        NetMessage m;
+        ASSERT_TRUE(awaitTagBounded(1, 5, m))
+            << "deadlocked: grant trapped behind parked frame";
+        ASSERT_EQ(m.payload.size(), payload.size());
+        EXPECT_EQ(m.payload[0], static_cast<std::uint8_t>(i));
+    }
+    for (int i = 0; i < frames; ++i) {
+        NetMessage m;
+        ASSERT_TRUE(awaitTagBounded(0, 6, m));
+        EXPECT_EQ(m.payload[0], static_cast<std::uint8_t>(100 + i));
+    }
+    EXPECT_GT(net.creditStallsNs(), 0u);
+}
+
+TEST(TcpCluster, BoundedSendQueueBlocksUntilDrained)
+{
+    TransportOptions topts;
+    topts.maxQueuedBytesPerStream = 2048;
+    ClusterNetwork net(2, gigabitEthernet(), TransportKind::Tcp,
+                       topts);
+    constexpr int frames = 32;
+    std::thread drainer([&net] {
+        for (int i = 0; i < frames; ++i) {
+            NetMessage m = awaitTag(net, 1, 6);
+            EXPECT_EQ(m.payload[0], static_cast<std::uint8_t>(i));
+        }
+    });
+    std::vector<std::uint8_t> payload(1024);
+    for (int i = 0; i < frames; ++i) {
+        payload[0] = static_cast<std::uint8_t>(i);
+        net.send(0, 1, 6, payload); // blocks past 2 KiB queued
+    }
+    drainer.join();
+}
+
+namespace
+{
+
+/** A raw loopback client socket (a fake peer for disconnect tests). */
+int
+rawConnect(std::uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)), 0);
+    return fd;
+}
+
+void
+rawSend(int fd, const void *buf, std::size_t len)
+{
+    ASSERT_EQ(::send(fd, buf, len, MSG_NOSIGNAL),
+              static_cast<ssize_t>(len));
+}
+
+bool
+recvAll(int fd, std::uint8_t *buf, std::size_t len)
+{
+    std::size_t got = 0;
+    while (got < len) {
+        ssize_t n = ::recv(fd, buf + got, len - got, 0);
+        if (n <= 0)
+            return false;
+        got += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+TEST(TcpCluster, PeerDisconnectAtFrameEdgeRecovers)
+{
+    WireCounters wire;
+    TcpTransport t(2, wire);
+    // A foreign peer handshakes as node 0's data end...
+    int fd = rawConnect(t.listenPort(1));
+    std::uint8_t shake[frame::handshakeBytes];
+    frame::encodeHandshake(shake,
+                           frame::Handshake{frame::channelData, 0});
+    rawSend(fd, shake, sizeof(shake));
+    // ...delivers one complete frame...
+    std::uint8_t hdr[frame::muxHeaderBytes];
+    frame::encodeMuxHeader(hdr,
+                           frame::MuxHeader{frame::kindStream, 0, 5,
+                                            5});
+    rawSend(fd, hdr, sizeof(hdr));
+    rawSend(fd, "hello", 5);
+    NetMessage m;
+    while (!t.pollTag(1, 5, m)) {
+    }
+    EXPECT_EQ(str(m.payload), "hello");
+    EXPECT_EQ(wire.connectionsPooled.load(), 1u);
+    // ...absorbs the credit grant the delivery owes it, then hangs up
+    // at a frame edge: an orderly EOF that must drop the pooled pair,
+    // not panic.
+    std::uint8_t grant[frame::muxHeaderBytes];
+    ASSERT_TRUE(recvAll(fd, grant, sizeof(grant)));
+    EXPECT_EQ(frame::decodeMuxHeader(grant).kind, frame::kindCredit);
+    ::close(fd);
+    // A real send from node 0 re-establishes a fresh pair connection.
+    t.send(0, 1, 5, bytesOf("again"));
+    while (!t.pollTag(1, 5, m)) {
+    }
+    EXPECT_EQ(str(m.payload), "again");
+    EXPECT_EQ(wire.connectionsPooled.load(), 2u);
+}
+
+TEST(TcpCluster, PeerClosingMidFramePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            WireCounters wire;
+            TcpTransport t(2, wire);
+            int fd = rawConnect(t.listenPort(1));
+            std::uint8_t shake[frame::handshakeBytes];
+            frame::encodeHandshake(
+                shake, frame::Handshake{frame::channelData, 0});
+            rawSend(fd, shake, sizeof(shake));
+            // Half a mux header, then hang up: a torn frame.
+            std::uint8_t partial[5];
+            std::memset(partial, 0, sizeof(partial));
+            partial[0] = frame::kindStream;
+            rawSend(fd, partial, sizeof(partial));
+            ::close(fd);
+            std::this_thread::sleep_for(std::chrono::seconds(5));
+        },
+        "peer closed mid-frame");
+}
+
+TEST(TcpCluster, SixtyFourNodeRingAndChordSmoke)
+{
+    constexpr int N = 64;
+    ClusterNetwork net(N, gigabitEthernet(), TransportKind::Tcp);
+    for (int i = 0; i < N; ++i) {
+        net.send(i, (i + 1) % N, 7,
+                 bytesOf("ring " + std::to_string(i)));
+        net.send(i, (i + N / 2) % N, 8,
+                 bytesOf("chord " + std::to_string(i)));
+    }
+    for (int i = 0; i < N; ++i) {
+        NetMessage r = awaitTag(net, (i + 1) % N, 7);
+        EXPECT_EQ(r.src, i);
+        EXPECT_EQ(str(r.payload), "ring " + std::to_string(i));
+        NetMessage c = awaitTag(net, (i + N / 2) % N, 8);
+        EXPECT_EQ(c.src, i);
+        EXPECT_EQ(str(c.payload), "chord " + std::to_string(i));
+    }
+    // 64 ring pairs plus 32 distinct chord pairs; each chord pair
+    // carries streams both ways yet is pooled exactly once, even when
+    // both endpoints race to establish it.
+    EXPECT_EQ(net.pooledConnections(),
+              static_cast<std::uint64_t>(N + N / 2));
+}
+
+TEST(TransportParity, ParityAtSixteenNodes)
+{
+    constexpr int N = 16;
+    auto drive = [](ClusterNetwork &net) {
+        for (int s = 0; s < N; ++s) {
+            for (int d = 0; d < N; ++d) {
+                if (s == d)
+                    continue;
+                net.send(s, d, 100 + s,
+                         std::vector<std::uint8_t>(
+                             static_cast<std::size_t>(
+                                 16 + 3 * s + 7 * d)));
+            }
+        }
+        for (int d = 0; d < N; ++d) {
+            for (int s = 0; s < N; ++s) {
+                if (s == d)
+                    continue;
+                NetMessage m = awaitTag(net, d, 100 + s);
+                EXPECT_EQ(m.src, s);
+                EXPECT_EQ(m.payload.size(),
+                          static_cast<std::size_t>(16 + 3 * s +
+                                                   7 * d));
+            }
+        }
+    };
+    ClusterNetwork model(N, gigabitEthernet(), TransportKind::Model);
+    ClusterNetwork tcp(N, gigabitEthernet(), TransportKind::Tcp);
+    drive(model);
+    drive(tcp);
+    for (NodeId s = 0; s < N; ++s) {
+        EXPECT_EQ(model.messagesSent(s), tcp.messagesSent(s)) << s;
+        EXPECT_EQ(model.wireNs(s), tcp.wireNs(s)) << s;
+        EXPECT_EQ(model.totalBytesSent(s), tcp.totalBytesSent(s)) << s;
+    }
+    // A full 16-node all-to-all needs exactly N·(N−1)/2 connections.
+    EXPECT_EQ(tcp.pooledConnections(),
+              static_cast<std::uint64_t>(N * (N - 1) / 2));
+    EXPECT_EQ(model.pooledConnections(), 0u);
 }
 
 /** Skyway over real sockets: the SkywayTest topology on TCP. */
