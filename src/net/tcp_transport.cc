@@ -253,13 +253,22 @@ TcpTransport::~TcpTransport()
 {
     running_.store(false, std::memory_order_relaxed);
     for (int i = 0; i < nodeCount_; ++i) {
-        wakeLoop(i);
         {
             // Release bounded-queue senders stuck in send().
             std::lock_guard<std::mutex> lock(nodes_[i]->sendMutex);
         }
         nodes_[i]->sendCv.notify_all();
     }
+    // A released sender still reads running_, and one that raced past
+    // the wait still touches its stream queue and the wake pipe on
+    // the way out — wait for every in-flight send() to leave before
+    // any fd is closed or Node state freed.
+    {
+        std::unique_lock<std::mutex> lock(sendersMutex_);
+        sendersCv_.wait(lock, [&] { return inFlightSenders_ == 0; });
+    }
+    for (int i = 0; i < nodeCount_; ++i)
+        wakeLoop(i);
     for (auto &n : nodes_) {
         if (n->loop.joinable())
             n->loop.join();
@@ -337,6 +346,182 @@ TcpTransport::writeTimed(int fd, const std::uint8_t *buf,
     TcpMetrics::get().realWireNs.add(ns);
 }
 
+std::size_t
+TcpTransport::nonblockSend(int fd, const std::uint8_t *p,
+                           std::size_t len)
+{
+    Stopwatch sw;
+    std::size_t sent = 0;
+    while (sent < len) {
+        ssize_t w = ::send(fd, p + sent, len - sent,
+                           MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (w >= 0) {
+            sent += static_cast<std::size_t>(w);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break; // socket full: the caller queues the rest
+        sysErr("send");
+    }
+    if (sent) {
+        std::uint64_t ns = sw.elapsedNs();
+        wire_.realWireNs.fetch_add(ns, std::memory_order_relaxed);
+        TcpMetrics::get().realWireNs.add(ns);
+    }
+    return sent;
+}
+
+void
+TcpTransport::sendOrQueue(Node &n, NodeId peer, int fd,
+                          const std::uint8_t *p, std::size_t len)
+{
+    std::lock_guard<std::mutex> lock(n.outMutex);
+    OutBuf &ob = n.outbound[fd];
+    ob.peer = peer;
+    if (ob.off >= ob.bytes.size()) {
+        // Nothing queued ahead: write straight to the socket and
+        // queue only what it refuses (the common, copy-free case).
+        std::size_t sent = nonblockSend(fd, p, len);
+        p += sent;
+        len -= sent;
+    }
+    if (len)
+        ob.bytes.insert(ob.bytes.end(), p, p + len);
+    // Empty entries are reaped by the loop's next flushPairWrites.
+}
+
+bool
+TcpTransport::flushOutBuf(int fd, OutBuf &ob)
+{
+    if (ob.off < ob.bytes.size())
+        ob.off += nonblockSend(fd, ob.bytes.data() + ob.off,
+                               ob.bytes.size() - ob.off);
+    if (ob.off >= ob.bytes.size()) {
+        ob.bytes.clear();
+        ob.off = 0;
+        return true;
+    }
+    if (ob.off >= (1u << 20)) {
+        // Reclaim a megabyte of consumed prefix.
+        ob.bytes.erase(ob.bytes.begin(),
+                       ob.bytes.begin() +
+                           static_cast<std::ptrdiff_t>(ob.off));
+        ob.off = 0;
+    }
+    return false;
+}
+
+bool
+TcpTransport::modPairInterest(NodeId node, NodeId peer, int fd,
+                              bool wantOut)
+{
+    Node &n = *nodes_[node];
+    std::lock_guard<std::mutex> lock(n.recvMutex);
+    for (const Parked &p : n.parked) {
+        if (p.fd == fd)
+            return false; // out of the epoll set while parked
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN | (wantOut ? static_cast<unsigned>(EPOLLOUT)
+                                   : 0u);
+    ev.data.u64 = packToken(FdKind::Pair, peer, fd);
+    if (::epoll_ctl(n.epollFd, EPOLL_CTL_MOD, fd, &ev) < 0)
+        sysErr("epoll_ctl(MOD)");
+    return true;
+}
+
+void
+TcpTransport::flushPairWrites(NodeId node)
+{
+    Node &n = *nodes_[node];
+    // Phase 1: drain under outMutex, noting which connections need
+    // an interest change. Phase 2 applies the epoll MODs with
+    // outMutex released — modPairInterest takes recvMutex, and a
+    // consumer holding recvMutex may be help-flushing (recvMutex →
+    // outMutex), so nesting the other way would invert lock order.
+    struct Mod
+    {
+        int fd;
+        NodeId peer;
+        bool want;
+    };
+    std::vector<Mod> mods;
+    {
+        std::lock_guard<std::mutex> lock(n.outMutex);
+        for (auto it = n.outbound.begin(); it != n.outbound.end();) {
+            OutBuf &ob = it->second;
+            bool drained = flushOutBuf(it->first, ob);
+            if (drained && !ob.armed) {
+                it = n.outbound.erase(it);
+                continue;
+            }
+            // Interest must mirror pending bytes: arm when blocked
+            // and unarmed, disarm when drained and armed.
+            if (drained == ob.armed)
+                mods.push_back(Mod{it->first, ob.peer, !drained});
+            ++it;
+        }
+    }
+    for (const Mod &m : mods) {
+        if (!modPairInterest(node, m.peer, m.fd, m.want))
+            continue; // parked: retried after the claim re-arms it
+        std::lock_guard<std::mutex> lock(n.outMutex);
+        auto it = n.outbound.find(m.fd);
+        if (it == n.outbound.end())
+            continue;
+        it->second.armed = m.want;
+        if (!m.want && it->second.off >= it->second.bytes.size())
+            n.outbound.erase(it);
+    }
+}
+
+void
+TcpTransport::helpFlushPair(NodeId peer, NodeId toward)
+{
+    Node &pn = *nodes_[peer];
+    int fd = -1;
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        auto it = pn.pairFd.find(toward);
+        if (it != pn.pairFd.end())
+            fd = it->second;
+    }
+    if (fd < 0)
+        return;
+    std::lock_guard<std::mutex> lock(pn.outMutex);
+    auto it = pn.outbound.find(fd);
+    if (it != pn.outbound.end())
+        flushOutBuf(fd, it->second); // arming stays the loop's job
+}
+
+void
+TcpTransport::recvParkedPayload(NodeId node, NodeId peer, int fd,
+                                std::uint8_t *buf, std::size_t len)
+{
+    std::size_t got = 0;
+    while (got < len) {
+        ssize_t r = ::recv(fd, buf + got, len - got, MSG_DONTWAIT);
+        if (r > 0) {
+            got += static_cast<std::size_t>(r);
+            continue;
+        }
+        panicIf(r == 0, "peer closed mid-frame");
+        if (errno == EINTR)
+            continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK)
+            sysErr("recv");
+        // The missing bytes may still sit in the peer's user-space
+        // outbound queue. Pump it ourselves: the peer's loop may be
+        // blocked on THIS thread's recvMutex, so waiting for it
+        // would deadlock the claim.
+        helpFlushPair(peer, node);
+        pollfd p{fd, POLLIN, 0};
+        ::poll(&p, 1, 1);
+    }
+}
+
 int
 TcpTransport::connectTo(NodeId dst, const std::uint8_t *shake,
                         std::size_t shake_len)
@@ -379,30 +564,42 @@ TcpTransport::connectTo(NodeId dst, const std::uint8_t *shake,
 int
 TcpTransport::pairFdOrClaim(NodeId node, NodeId dst)
 {
-    std::lock_guard<std::mutex> lock(poolMutex_);
     Node &n = *nodes_[node];
-    auto it = n.pairFd.find(dst);
-    if (it != n.pairFd.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        auto it = n.pairFd.find(dst);
+        if (it != n.pairFd.end())
+            return it->second;
 
-    PairEntry &e = pool_[pairKey(node, dst)];
-    if (e.claimed) {
-        // The peer is mid-connect; our loop's accept completes the
-        // pair. Never wait here — the accept event re-runs the drain.
-        return -1;
+        PairEntry &e = pool_[pairKey(node, dst)];
+        if (e.claimed) {
+            // The peer is mid-connect; our loop's accept completes
+            // the pair. Never wait here — the accept event re-runs
+            // the drain.
+            return -1;
+        }
+        e.claimed = true;
+        wire_.connectionsPooled.fetch_add(1,
+                                          std::memory_order_relaxed);
+        TcpMetrics::get().pooledConnections.add(1);
     }
-    e.claimed = true;
-    wire_.connectionsPooled.fetch_add(1, std::memory_order_relaxed);
-    TcpMetrics::get().pooledConnections.add(1);
 
     frame::Handshake h{frame::channelData, node};
     std::uint8_t shake[frame::handshakeBytes];
     frame::encodeHandshake(shake, h);
-    // connect() completes against the peer's listen backlog without
-    // its userspace accepting, so holding poolMutex_ across it cannot
-    // deadlock — it only serializes pair establishment.
+    // Connect with poolMutex_ dropped: a backlog-overflow retry can
+    // sleep ~200 ms, and holding the transport-wide lock across that
+    // would stall every node's grant delivery and accepts. The claim
+    // above keeps the pair exclusive meanwhile (connectTo panics
+    // rather than failing, so there is no unclaim path).
     int fd = connectTo(dst, shake, sizeof(shake));
-    n.pairFd.emplace(dst, fd);
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        panicIf(n.pairFd.count(dst) != 0,
+                "TcpTransport: duplicate pair connection toward "
+                "node " + std::to_string(dst));
+        n.pairFd.emplace(dst, fd);
+    }
     epollAdd(node, packToken(FdKind::Pair, dst, fd), fd);
     return fd;
 }
@@ -426,6 +623,23 @@ void
 TcpTransport::send(NodeId src, NodeId dst, int tag,
                    std::vector<std::uint8_t> payload)
 {
+    // Census in/out so the destructor cannot tear down fds or Node
+    // state under a sender it just released from the bounded wait.
+    {
+        std::lock_guard<std::mutex> lock(sendersMutex_);
+        ++inFlightSenders_;
+    }
+    struct Census
+    {
+        TcpTransport &t;
+        ~Census()
+        {
+            std::lock_guard<std::mutex> lock(t.sendersMutex_);
+            if (--t.inFlightSenders_ == 0)
+                t.sendersCv_.notify_all();
+        }
+    } census{*this};
+
     Node &n = *nodes_[src];
     if (src == dst) {
         // Self-delivery never touches a socket (loopback-to-self is
@@ -457,6 +671,11 @@ TcpTransport::send(NodeId src, NodeId dst, int tag,
                        s.queuedBytes <
                            options_.maxQueuedBytesPerStream;
             });
+            if (!running_.load(std::memory_order_relaxed)) {
+                // Shutdown released us: drop the frame and leave
+                // without touching the queue or the wake pipe.
+                return;
+            }
         }
         s.queuedBytes += payload.size();
         s.queue.push_back(std::move(payload));
@@ -499,8 +718,8 @@ TcpTransport::stageParked(NodeId node, Node &n,
         NetMessage m{p.src, node, p.tag, {}};
         if (p.len) {
             m.payload.resize(p.len);
-            panicIf(!recvFully(p.fd, m.payload.data(), p.len),
-                    "peer closed mid-frame");
+            recvParkedPayload(node, p.src, p.fd, m.payload.data(),
+                              p.len);
         }
         epollAdd(node, packToken(FdKind::Pair, p.src, p.fd), p.fd);
         n.staged.push_back(std::move(m));
@@ -571,8 +790,8 @@ TcpTransport::poll(NodeId dst, NetMessage &out)
         out = NetMessage{p.src, dst, p.tag, {}};
         if (p.len) {
             out.payload.resize(p.len);
-            panicIf(!recvFully(p.fd, out.payload.data(), p.len),
-                    "peer closed mid-frame");
+            recvParkedPayload(dst, p.src, p.fd, out.payload.data(),
+                              p.len);
         }
         epollAdd(dst, packToken(FdKind::Pair, p.src, p.fd), p.fd);
         if (p.len)
@@ -618,8 +837,8 @@ TcpTransport::pollTag(NodeId dst, int tag, NetMessage &out)
         out = NetMessage{p.src, dst, p.tag, {}};
         if (p.len) {
             out.payload.resize(p.len);
-            panicIf(!recvFully(p.fd, out.payload.data(), p.len),
-                    "peer closed mid-frame");
+            recvParkedPayload(dst, p.src, p.fd, out.payload.data(),
+                              p.len);
         }
         epollAdd(dst, packToken(FdKind::Pair, p.src, p.fd), p.fd);
         if (p.len)
@@ -692,7 +911,7 @@ TcpTransport::pollTagInto(NodeId dst, int tag, const ReserveFn &reserve)
         // storage (old-gen chunk space on the Skyway receive path).
         std::uint8_t *to = reserve(p.len);
         panicIf(to == nullptr, "pollTagInto: reserve returned null");
-        panicIf(!recvFully(p.fd, to, p.len), "peer closed mid-frame");
+        recvParkedPayload(dst, p.src, p.fd, to, p.len);
         wire_.recvIntoBytes.fetch_add(p.len,
                                       std::memory_order_relaxed);
         TcpMetrics::get().recvIntoBytes.add(p.len);
@@ -862,6 +1081,13 @@ void
 TcpTransport::dropPair(NodeId node, NodeId peer, int fd)
 {
     Node &n = *nodes_[node];
+    n.hdrPartial.erase(fd);
+    {
+        // Erase the write queue before close so a concurrent
+        // help-flush cannot land on a reused fd number.
+        std::lock_guard<std::mutex> lock(n.outMutex);
+        n.outbound.erase(fd);
+    }
     ::close(fd); // also removes it from the epoll set
     std::lock_guard<std::mutex> lock(poolMutex_);
     auto it = n.pairFd.find(peer);
@@ -909,12 +1135,33 @@ void
 TcpTransport::handlePairReadable(NodeId node, NodeId peer, int fd)
 {
     Node &n = *nodes_[node];
-    std::uint8_t hdr[frame::muxHeaderBytes];
-    if (!recvFully(fd, hdr, sizeof(hdr))) {
-        dropPair(node, peer, fd);
-        return;
+    // Reassemble the header without blocking: TCP has no message
+    // boundaries, so a level-triggered EPOLLIN may expose only part
+    // of the 13 bytes — blocking on the remainder would couple the
+    // loop's liveness to peer behavior. A partial header persists in
+    // hdrPartial; EPOLLIN re-fires when more bytes arrive.
+    HdrBuf &hb = n.hdrPartial[fd];
+    while (hb.got < frame::muxHeaderBytes) {
+        ssize_t r = ::recv(fd, hb.bytes + hb.got,
+                           frame::muxHeaderBytes - hb.got,
+                           MSG_DONTWAIT);
+        if (r > 0) {
+            hb.got += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r == 0) {
+            panicIf(hb.got != 0, "peer closed mid-frame");
+            dropPair(node, peer, fd);
+            return;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return; // partial header parked in hb
+        sysErr("recv");
     }
-    frame::MuxHeader h = frame::decodeMuxHeader(hdr);
+    hb.got = 0; // consumed: ready for this connection's next header
+    frame::MuxHeader h = frame::decodeMuxHeader(hb.bytes);
     if (h.kind == frame::kindCredit) {
         std::lock_guard<std::mutex> lock(n.sendMutex);
         auto it = n.streams.find(std::make_pair(peer, h.tag));
@@ -941,6 +1188,15 @@ TcpTransport::handlePairReadable(NodeId node, NodeId peer, int fd)
     epollDel(node, fd);
     n.parked.push_back(Parked{fd, peer, h.tag, h.arg});
     ++n.recvVersion;
+    {
+        // Deleting the registration dropped EPOLLOUT with it; the
+        // claim re-adds EPOLLIN only, so record the truth and let
+        // flushPairWrites re-arm once the fd is back in the set.
+        std::lock_guard<std::mutex> olock(n.outMutex);
+        auto it = n.outbound.find(fd);
+        if (it != n.outbound.end())
+            it->second.armed = false;
+    }
 }
 
 void
@@ -965,7 +1221,7 @@ TcpTransport::drainGrants(NodeId node)
         frame::MuxHeader h{frame::kindCredit, node, g.tag, g.bytes};
         std::uint8_t hdr[frame::muxHeaderBytes];
         frame::encodeMuxHeader(hdr, h);
-        writeTimed(fd, hdr, sizeof(hdr));
+        sendOrQueue(n, g.peer, fd, hdr, sizeof(hdr));
         wire_.framesSent.fetch_add(1, std::memory_order_relaxed);
         TcpMetrics::get().framesSent.inc();
     }
@@ -1011,6 +1267,7 @@ TcpTransport::drainSends(NodeId node)
                     // End of stream: no payload, no credit needed.
                     TxFrame tx;
                     tx.fd = fit->second;
+                    tx.peer = key.first;
                     frame::MuxHeader h{frame::kindStream, node,
                                        key.second, 0};
                     frame::encodeMuxHeader(tx.header, h);
@@ -1032,6 +1289,7 @@ TcpTransport::drainSends(NodeId node)
                 s.queuedBytes -= front.size();
                 TxFrame tx;
                 tx.fd = fit->second;
+                tx.peer = key.first;
                 frame::MuxHeader h{
                     frame::kindStream, node, key.second,
                     static_cast<std::uint32_t>(front.size())};
@@ -1047,9 +1305,13 @@ TcpTransport::drainSends(NodeId node)
         n.sendCv.notify_all();
 
     for (TxFrame &tx : batch) {
-        writeTimed(tx.fd, tx.header, sizeof(tx.header));
+        // Non-blocking: what the socket refuses queues per
+        // connection, so a full peer buffer can never wedge this
+        // loop against another node's (the old write-write cycle).
+        sendOrQueue(n, tx.peer, tx.fd, tx.header, sizeof(tx.header));
         if (!tx.payload.empty())
-            writeTimed(tx.fd, tx.payload.data(), tx.payload.size());
+            sendOrQueue(n, tx.peer, tx.fd, tx.payload.data(),
+                        tx.payload.size());
         wire_.framesSent.fetch_add(1, std::memory_order_relaxed);
         TcpMetrics::get().framesSent.inc();
     }
@@ -1073,6 +1335,7 @@ TcpTransport::eventLoop(NodeId node)
     while (running_.load(std::memory_order_relaxed)) {
         drainGrants(node);
         drainSends(node);
+        flushPairWrites(node);
         rescueStalledStreams(node);
 
         epoll_event evs[64];
@@ -1104,7 +1367,10 @@ TcpTransport::eventLoop(NodeId node)
                 acceptPending(node);
                 break;
               case FdKind::Pair:
-                handlePairReadable(node, peer, fd);
+                if (evs[i].events & EPOLLOUT)
+                    flushPairWrites(node);
+                if (evs[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR))
+                    handlePairReadable(node, peer, fd);
                 break;
               case FdKind::Ctrl:
                 if (!serveControl(node, fd)) {

@@ -42,6 +42,18 @@
  *    threshold forces that connection's parked frames into the
  *    staging buffer so the grant becomes readable (TRANSPORT.md §5).
  *
+ *  - Loop liveness: the event loop NEVER blocks on a pair socket.
+ *    Writes go through a per-connection outbound byte queue drained
+ *    with MSG_DONTWAIT (EPOLLOUT is armed while bytes remain), and
+ *    inbound mux headers are reassembled non-blockingly across
+ *    partial arrivals — so two nodes flooding each other (or a
+ *    write cycle A->B->C->A) can never wedge the loops against full
+ *    socket buffers (TRANSPORT.md §4). A consumer claiming a parked
+ *    payload whose bytes still sit in the peer's outbound queue
+ *    pumps that queue itself (the whole fabric is one process), so
+ *    claims cannot deadlock against a loop that is waiting on the
+ *    claimer's own recvMutex.
+ *
  *  - Control plane: unchanged request/reply connections per (src,
  *    dst) direction for the blocking request() round trip (the
  *    type-registry LOOKUP daemon), served by the destination's event
@@ -65,6 +77,7 @@
 #include <thread>
 #include <utility>
 
+#include "net/frame.hh"
 #include "net/transport.hh"
 
 namespace skyway
@@ -140,6 +153,31 @@ class TcpTransport final : public Transport
         std::uint32_t bytes;
     };
 
+    /**
+     * Unwritten outbound bytes of one pair connection. The socket is
+     * written only with MSG_DONTWAIT; whatever it refuses queues here
+     * (off = consumed prefix), so the event loop never blocks in
+     * send(2). Bounded by the credit windows of the streams sharing
+     * the connection plus the (tiny) grant frames.
+     */
+    struct OutBuf
+    {
+        NodeId peer = 0;
+        std::vector<std::uint8_t> bytes;
+        std::size_t off = 0;
+        /** EPOLLOUT currently registered for this fd (loop-owned —
+         *  cleared when parking removes the registration). */
+        bool armed = false;
+    };
+
+    /** Partial inbound mux header of one pair connection: a level-
+     *  triggered EPOLLIN may expose fewer than the full 13 bytes. */
+    struct HdrBuf
+    {
+        std::uint8_t bytes[frame::muxHeaderBytes];
+        std::size_t got = 0;
+    };
+
     /** Everything one node owns. */
     struct Node
     {
@@ -177,6 +215,15 @@ class TcpTransport final : public Transport
          *  keyed by peer; guarded by the transport-wide poolMutex_. */
         std::map<NodeId, int> pairFd;
 
+        /** Write side of the pair connections, keyed by fd; guarded
+         *  by outMutex because consumers blocked on a parked payload
+         *  help-flush the *peer's* buffer (see helpFlushPair). */
+        std::mutex outMutex;
+        std::map<int, OutBuf> outbound;
+
+        /** Loop-owned header reassembly per pair fd; no lock. */
+        std::map<int, HdrBuf> hdrPartial;
+
         /** Outbound control connections, one per destination; the
          *  per-destination mutex serializes request/reply exchanges
          *  on the shared connection. */
@@ -195,7 +242,8 @@ class TcpTransport final : public Transport
     struct TxFrame
     {
         int fd;
-        std::uint8_t header[13]; // frame::muxHeaderBytes
+        NodeId peer;
+        std::uint8_t header[frame::muxHeaderBytes];
         std::vector<std::uint8_t> payload;
     };
 
@@ -248,8 +296,53 @@ class TcpTransport final : public Transport
      *  parked frames so the grant becomes readable. */
     void rescueStalledStreams(NodeId node);
 
-    /** Write all of @p buf to @p fd, timing it into realWireNs. */
+    /** Write all of @p buf to @p fd, timing it into realWireNs.
+     *  BLOCKING — control-plane connections only; the data plane
+     *  goes through sendOrQueue/flushPairWrites so the event loop
+     *  never blocks on a pair socket. */
     void writeTimed(int fd, const std::uint8_t *buf, std::size_t len);
+
+    /** Non-blocking write burst (MSG_DONTWAIT), timed into
+     *  realWireNs; returns how many of @p len bytes the socket
+     *  accepted. */
+    std::size_t nonblockSend(int fd, const std::uint8_t *p,
+                             std::size_t len);
+
+    /** Data-plane write: push @p len bytes to @p fd if its outbound
+     *  buffer is empty, queueing whatever the socket refuses (FIFO
+     *  per connection is preserved — a non-empty buffer means the
+     *  bytes only queue). */
+    void sendOrQueue(Node &n, NodeId peer, int fd,
+                     const std::uint8_t *p, std::size_t len);
+
+    /** Drain one outbound buffer as far as the socket allows; true
+     *  when it emptied. Caller holds the owning node's outMutex. */
+    bool flushOutBuf(int fd, OutBuf &ob);
+
+    /** Loop step: drain every outbound buffer, arming EPOLLOUT on
+     *  the connections that still hold bytes and disarming (and
+     *  dropping) the ones that emptied. */
+    void flushPairWrites(NodeId node);
+
+    /** Pump @p peer's outbound buffer toward @p toward once. Called
+     *  by consumers blocked on a parked payload whose bytes may
+     *  still sit in the peer's user-space queue: the whole fabric is
+     *  one process, so the claimer can move them itself instead of
+     *  depending on the peer's loop (which may in turn be blocked on
+     *  the claimer's recvMutex). */
+    void helpFlushPair(NodeId peer, NodeId toward);
+
+    /** Read exactly @p len parked-payload bytes from @p fd,
+     *  help-flushing the peer's outbound queue while the socket runs
+     *  dry; panics on a mid-frame close. */
+    void recvParkedPayload(NodeId node, NodeId peer, int fd,
+                           std::uint8_t *buf, std::size_t len);
+
+    /** Re-register @p fd's epoll interest with/without EPOLLOUT.
+     *  False (no-op) while the fd is parked — the registration is
+     *  gone and the claim re-adds it EPOLLIN-only. */
+    bool modPairInterest(NodeId node, NodeId peer, int fd,
+                         bool wantOut);
 
     int nodeCount_;
     WireCounters &wire_;
@@ -268,6 +361,13 @@ class TcpTransport final : public Transport
     std::mutex handlerMutex_;
     std::vector<RequestHandler> handlers_;
     std::atomic<bool> running_{true};
+
+    /** In-flight send() census: the destructor must not close fds or
+     *  free Node state while a sender released from the bounded-
+     *  queue wait is still on its way out. */
+    std::mutex sendersMutex_;
+    std::condition_variable sendersCv_;
+    int inFlightSenders_ = 0;
 };
 
 } // namespace skyway

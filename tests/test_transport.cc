@@ -453,6 +453,62 @@ TEST(TcpCluster, CreditGrantBehindParkedFrameRescued)
     EXPECT_GT(net.creditStallsNs(), 0u);
 }
 
+TEST(TcpCluster, BidirectionalFloodDoesNotWedgeEventLoops)
+{
+    // Regression for the write-write deadlock: both nodes flood the
+    // one full-duplex pair socket with several streams' worth of
+    // frames before anyone polls, so each direction's unwritten
+    // bytes exceed what the kernel will buffer. With blocking writes
+    // in the event loops, node 0's loop and node 1's loop both sat
+    // in send(2) against a full peer socket buffer — neither reached
+    // epoll_wait again, no inbound frame was ever parked, and the
+    // fabric deadlocked. Writes now queue per connection and drain
+    // non-blockingly (EPOLLOUT), so the loops keep turning.
+    ClusterNetwork net(2, gigabitEthernet(), TransportKind::Tcp);
+    constexpr int tags = 4;
+    constexpr int frames = 2;
+    std::vector<std::uint8_t> payload(512 * 1024);
+    for (int t = 0; t < tags; ++t) {
+        for (int i = 0; i < frames; ++i) {
+            payload[0] = static_cast<std::uint8_t>(i);
+            payload[1] = static_cast<std::uint8_t>(t);
+            net.send(0, 1, 20 + t, payload);
+            payload[0] = static_cast<std::uint8_t>(100 + i);
+            net.send(1, 0, 20 + t, payload);
+        }
+    }
+    // Give both loops time to wedge against the full socket buffers
+    // before any consumer relieves them (the old code deadlocked
+    // right here, with every later poll spinning forever).
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    auto awaitTagBounded = [&](NodeId dst, int tag, NetMessage &m) {
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(30);
+        while (!net.pollTag(dst, tag, m)) {
+            if (std::chrono::steady_clock::now() > deadline)
+                return false;
+        }
+        return true;
+    };
+    for (int t = 0; t < tags; ++t) {
+        for (int i = 0; i < frames; ++i) {
+            NetMessage m;
+            ASSERT_TRUE(awaitTagBounded(1, 20 + t, m))
+                << "deadlocked: event loops blocked writing";
+            ASSERT_EQ(m.payload.size(), payload.size());
+            EXPECT_EQ(m.payload[0], static_cast<std::uint8_t>(i));
+            EXPECT_EQ(m.payload[1], static_cast<std::uint8_t>(t));
+            ASSERT_TRUE(awaitTagBounded(0, 20 + t, m))
+                << "deadlocked: event loops blocked writing";
+            EXPECT_EQ(m.payload[0],
+                      static_cast<std::uint8_t>(100 + i));
+        }
+    }
+    NetMessage m;
+    EXPECT_FALSE(net.poll(0, m));
+    EXPECT_FALSE(net.poll(1, m));
+}
+
 TEST(TcpCluster, BoundedSendQueueBlocksUntilDrained)
 {
     TransportOptions topts;
