@@ -16,7 +16,7 @@ void
 ModelTransport::send(NodeId src, NodeId dst, int tag,
                      std::vector<std::uint8_t> payload)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     mailboxes_[dst].push_back(NetMessage{src, dst, tag,
                                          std::move(payload)});
 }
@@ -24,7 +24,7 @@ ModelTransport::send(NodeId src, NodeId dst, int tag,
 bool
 ModelTransport::poll(NodeId dst, NetMessage &out)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto &box = mailboxes_[dst];
     if (box.empty())
         return false;
@@ -36,7 +36,7 @@ ModelTransport::poll(NodeId dst, NetMessage &out)
 bool
 ModelTransport::pollTag(NodeId dst, int tag, NetMessage &out)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto &box = mailboxes_[dst];
     for (auto it = box.begin(); it != box.end(); ++it) {
         if (it->tag == tag) {
@@ -69,7 +69,7 @@ ModelTransport::pollTagInto(NodeId dst, int tag,
 void
 ModelTransport::registerHandler(NodeId node, RequestHandler handler)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     handlers_[node] = std::move(handler);
 }
 
@@ -80,7 +80,7 @@ ModelTransport::request(NodeId src, NodeId dst, int tag,
 {
     RequestHandler handler;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         handler = handlers_[dst];
     }
     panicIf(!handler, "request: node has no registered handler");

@@ -11,9 +11,9 @@
 #define SKYWAY_NET_MODEL_TRANSPORT_HH
 
 #include <deque>
-#include <mutex>
 
 #include "net/transport.hh"
+#include "support/thread_annotations.hh"
 
 namespace skyway
 {
@@ -38,9 +38,12 @@ class ModelTransport final : public Transport
             const RequestOptions &opts) override;
 
   private:
-    mutable std::mutex mutex_;
-    std::vector<std::deque<NetMessage>> mailboxes_;
-    std::vector<RequestHandler> handlers_;
+    /** The one mailbox lock; every public method takes it (request()
+     *  drops it before invoking the handler — handlers may re-enter
+     *  the transport). */
+    mutable Mutex mutex_;
+    std::vector<std::deque<NetMessage>> mailboxes_ GUARDED_BY(mutex_);
+    std::vector<RequestHandler> handlers_ GUARDED_BY(mutex_);
 };
 
 } // namespace skyway

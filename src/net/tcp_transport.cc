@@ -255,7 +255,7 @@ TcpTransport::~TcpTransport()
     for (int i = 0; i < nodeCount_; ++i) {
         {
             // Release bounded-queue senders stuck in send().
-            std::lock_guard<std::mutex> lock(nodes_[i]->sendMutex);
+            MutexLock lock(nodes_[i]->sendMutex);
         }
         nodes_[i]->sendCv.notify_all();
     }
@@ -264,8 +264,9 @@ TcpTransport::~TcpTransport()
     // the way out — wait for every in-flight send() to leave before
     // any fd is closed or Node state freed.
     {
-        std::unique_lock<std::mutex> lock(sendersMutex_);
-        sendersCv_.wait(lock, [&] { return inFlightSenders_ == 0; });
+        MutexLock lock(sendersMutex_);
+        while (inFlightSenders_ != 0)
+            sendersCv_.wait(lock);
     }
     for (int i = 0; i < nodeCount_; ++i)
         wakeLoop(i);
@@ -274,10 +275,19 @@ TcpTransport::~TcpTransport()
             n->loop.join();
     }
 
-    // Unwind the process-wide gauges this fabric contributed to.
+    // Unwind the process-wide gauges this fabric contributed to, and
+    // close every fd. The loops are joined and the senders drained,
+    // but consumer threads may still be mid-poll (nothing stops a
+    // reader outliving the fabric), so the guarded state below is
+    // read under its owning locks like everywhere else — they are
+    // uncontended by now and leaf-ordered, so this costs nothing.
+    // (The unlocked reads that used to sit here were the first bug
+    // the SkywayGuard annotations flagged; see
+    // docs/STATIC_ANALYSIS.md and GaugesUnwindOnDestruction.)
     TcpMetrics &m = TcpMetrics::get();
     std::int64_t active = 0;
     for (auto &n : nodes_) {
+        MutexLock lock(n->sendMutex);
         for (auto &[key, s] : n->streams) {
             if (s.active)
                 ++active;
@@ -285,15 +295,24 @@ TcpTransport::~TcpTransport()
     }
     if (active)
         m.streamsActive.add(-active);
-    if (!pool_.empty())
-        m.pooledConnections.add(
-            -static_cast<std::int64_t>(pool_.size()));
+    {
+        MutexLock lock(poolMutex_);
+        if (!pool_.empty())
+            m.pooledConnections.add(
+                -static_cast<std::int64_t>(pool_.size()));
+    }
 
     for (auto &n : nodes_) {
-        for (auto &[peer, fd] : n->pairFd)
-            ::close(fd);
-        for (auto &[dst, fd] : n->ctrlOut)
-            ::close(fd);
+        {
+            MutexLock lock(poolMutex_);
+            for (auto &[peer, fd] : n->pairFd)
+                ::close(fd);
+        }
+        {
+            MutexLock lock(n->ctrlMutex);
+            for (auto &[dst, fd] : n->ctrlOut)
+                ::close(fd);
+        }
         for (int fd : n->ctrlIn)
             ::close(fd);
         ::close(n->listenFd);
@@ -377,7 +396,7 @@ void
 TcpTransport::sendOrQueue(Node &n, NodeId peer, int fd,
                           const std::uint8_t *p, std::size_t len)
 {
-    std::lock_guard<std::mutex> lock(n.outMutex);
+    MutexLock lock(n.outMutex);
     OutBuf &ob = n.outbound[fd];
     ob.peer = peer;
     if (ob.off >= ob.bytes.size()) {
@@ -393,8 +412,9 @@ TcpTransport::sendOrQueue(Node &n, NodeId peer, int fd,
 }
 
 bool
-TcpTransport::flushOutBuf(int fd, OutBuf &ob)
+TcpTransport::flushOutBuf(Node &n, int fd, OutBuf &ob)
 {
+    (void)n; // present for the REQUIRES(n.outMutex) annotation only
     if (ob.off < ob.bytes.size())
         ob.off += nonblockSend(fd, ob.bytes.data() + ob.off,
                                ob.bytes.size() - ob.off);
@@ -418,7 +438,7 @@ TcpTransport::modPairInterest(NodeId node, NodeId peer, int fd,
                               bool wantOut)
 {
     Node &n = *nodes_[node];
-    std::lock_guard<std::mutex> lock(n.recvMutex);
+    MutexLock lock(n.recvMutex);
     for (const Parked &p : n.parked) {
         if (p.fd == fd)
             return false; // out of the epoll set while parked
@@ -449,10 +469,10 @@ TcpTransport::flushPairWrites(NodeId node)
     };
     std::vector<Mod> mods;
     {
-        std::lock_guard<std::mutex> lock(n.outMutex);
+        MutexLock lock(n.outMutex);
         for (auto it = n.outbound.begin(); it != n.outbound.end();) {
             OutBuf &ob = it->second;
-            bool drained = flushOutBuf(it->first, ob);
+            bool drained = flushOutBuf(n, it->first, ob);
             if (drained && !ob.armed) {
                 it = n.outbound.erase(it);
                 continue;
@@ -467,7 +487,7 @@ TcpTransport::flushPairWrites(NodeId node)
     for (const Mod &m : mods) {
         if (!modPairInterest(node, m.peer, m.fd, m.want))
             continue; // parked: retried after the claim re-arms it
-        std::lock_guard<std::mutex> lock(n.outMutex);
+        MutexLock lock(n.outMutex);
         auto it = n.outbound.find(m.fd);
         if (it == n.outbound.end())
             continue;
@@ -483,17 +503,17 @@ TcpTransport::helpFlushPair(NodeId peer, NodeId toward)
     Node &pn = *nodes_[peer];
     int fd = -1;
     {
-        std::lock_guard<std::mutex> lock(poolMutex_);
+        MutexLock lock(poolMutex_);
         auto it = pn.pairFd.find(toward);
         if (it != pn.pairFd.end())
             fd = it->second;
     }
     if (fd < 0)
         return;
-    std::lock_guard<std::mutex> lock(pn.outMutex);
+    MutexLock lock(pn.outMutex);
     auto it = pn.outbound.find(fd);
     if (it != pn.outbound.end())
-        flushOutBuf(fd, it->second); // arming stays the loop's job
+        flushOutBuf(pn, fd, it->second); // arming stays the loop's job
 }
 
 void
@@ -566,7 +586,7 @@ TcpTransport::pairFdOrClaim(NodeId node, NodeId dst)
 {
     Node &n = *nodes_[node];
     {
-        std::lock_guard<std::mutex> lock(poolMutex_);
+        MutexLock lock(poolMutex_);
         auto it = n.pairFd.find(dst);
         if (it != n.pairFd.end())
             return it->second;
@@ -594,7 +614,7 @@ TcpTransport::pairFdOrClaim(NodeId node, NodeId dst)
     // rather than failing, so there is no unclaim path).
     int fd = connectTo(dst, shake, sizeof(shake));
     {
-        std::lock_guard<std::mutex> lock(poolMutex_);
+        MutexLock lock(poolMutex_);
         panicIf(n.pairFd.count(dst) != 0,
                 "TcpTransport: duplicate pair connection toward "
                 "node " + std::to_string(dst));
@@ -607,7 +627,6 @@ TcpTransport::pairFdOrClaim(NodeId node, NodeId dst)
 int
 TcpTransport::ctrlConnFor(Node &n, NodeId src, NodeId dst)
 {
-    // Caller holds n.ctrlMutex.
     auto it = n.ctrlOut.find(dst);
     if (it != n.ctrlOut.end())
         return it->second;
@@ -626,7 +645,7 @@ TcpTransport::send(NodeId src, NodeId dst, int tag,
     // Census in/out so the destructor cannot tear down fds or Node
     // state under a sender it just released from the bounded wait.
     {
-        std::lock_guard<std::mutex> lock(sendersMutex_);
+        MutexLock lock(sendersMutex_);
         ++inFlightSenders_;
     }
     struct Census
@@ -634,7 +653,7 @@ TcpTransport::send(NodeId src, NodeId dst, int tag,
         TcpTransport &t;
         ~Census()
         {
-            std::lock_guard<std::mutex> lock(t.sendersMutex_);
+            MutexLock lock(t.sendersMutex_);
             if (--t.inFlightSenders_ == 0)
                 t.sendersCv_.notify_all();
         }
@@ -644,7 +663,7 @@ TcpTransport::send(NodeId src, NodeId dst, int tag,
     if (src == dst) {
         // Self-delivery never touches a socket (loopback-to-self is
         // not remote traffic on any transport).
-        std::lock_guard<std::mutex> lock(n.recvMutex);
+        MutexLock lock(n.recvMutex);
         n.selfBox.push_back(NetMessage{src, dst, tag,
                                        std::move(payload)});
         ++n.recvVersion;
@@ -652,7 +671,7 @@ TcpTransport::send(NodeId src, NodeId dst, int tag,
     }
 
     {
-        std::unique_lock<std::mutex> lock(n.sendMutex);
+        MutexLock lock(n.sendMutex);
         auto [it, inserted] =
             n.streams.try_emplace(std::make_pair(dst, tag));
         TxStream &s = it->second;
@@ -666,11 +685,12 @@ TcpTransport::send(NodeId src, NodeId dst, int tag,
         if (options_.maxQueuedBytesPerStream > 0 && !payload.empty()) {
             // Opt-in bound on unsent bytes; requires a concurrent
             // drainer (see TransportOptions::maxQueuedBytesPerStream).
-            n.sendCv.wait(lock, [&] {
-                return !running_.load(std::memory_order_relaxed) ||
-                       s.queuedBytes <
-                           options_.maxQueuedBytesPerStream;
-            });
+            // An explicit wait loop rather than the predicate
+            // overload: thread-safety analysis cannot see through a
+            // predicate lambda, and the loop is the same code.
+            while (running_.load(std::memory_order_relaxed) &&
+                   s.queuedBytes >= options_.maxQueuedBytesPerStream)
+                n.sendCv.wait(lock);
             if (!running_.load(std::memory_order_relaxed)) {
                 // Shutdown released us: drop the frame and leave
                 // without touching the queue or the wake pipe.
@@ -689,7 +709,7 @@ TcpTransport::queueGrant(NodeId node, NodeId src, int tag,
 {
     Node &n = *nodes_[node];
     {
-        std::lock_guard<std::mutex> lock(n.sendMutex);
+        MutexLock lock(n.sendMutex);
         n.grants.push_back(Grant{src, tag, bytes});
     }
     wakeLoop(node);
@@ -699,8 +719,8 @@ void
 TcpTransport::stageParked(NodeId node, Node &n,
                           const std::set<int> *onlyFds)
 {
-    // Caller holds n.recvMutex. Either a consumer is stuck on a tag
-    // none of the parked frames carry, or (onlyFds set) the loop's
+    // Either a consumer is stuck on a tag none of the parked frames
+    // carry, or (onlyFds set) the loop's
     // stall rescue needs the grants queued behind these frames; read
     // the payloads off their connections (one staging copy —
     // intentionally NOT counted as net.recv_into_bytes) so whatever
@@ -737,7 +757,7 @@ TcpTransport::rescueStalledStreams(NodeId node)
     std::vector<NodeId> starvedDsts;
     std::uint64_t now = monoNs();
     {
-        std::lock_guard<std::mutex> lock(n.sendMutex);
+        MutexLock lock(n.sendMutex);
         for (auto &[key, s] : n.streams) {
             if (!s.stalled || now - s.stallStartNs < stallRescueNs)
                 continue;
@@ -749,7 +769,7 @@ TcpTransport::rescueStalledStreams(NodeId node)
         return;
     std::set<int> fds;
     {
-        std::lock_guard<std::mutex> lock(poolMutex_);
+        MutexLock lock(poolMutex_);
         for (NodeId dst : starvedDsts) {
             auto it = n.pairFd.find(dst);
             if (it != n.pairFd.end())
@@ -758,7 +778,7 @@ TcpTransport::rescueStalledStreams(NodeId node)
     }
     if (fds.empty())
         return;
-    std::lock_guard<std::mutex> lock(n.recvMutex);
+    MutexLock lock(n.recvMutex);
     if (!n.parked.empty())
         stageParked(node, n, &fds);
 }
@@ -767,7 +787,7 @@ bool
 TcpTransport::poll(NodeId dst, NetMessage &out)
 {
     Node &n = *nodes_[dst];
-    std::lock_guard<std::mutex> lock(n.recvMutex);
+    MutexLock lock(n.recvMutex);
     if (!n.selfBox.empty()) {
         out = std::move(n.selfBox.front());
         n.selfBox.pop_front();
@@ -805,7 +825,7 @@ bool
 TcpTransport::pollTag(NodeId dst, int tag, NetMessage &out)
 {
     Node &n = *nodes_[dst];
-    std::lock_guard<std::mutex> lock(n.recvMutex);
+    MutexLock lock(n.recvMutex);
     for (auto it = n.selfBox.begin(); it != n.selfBox.end(); ++it) {
         if (it->tag == tag) {
             out = std::move(*it);
@@ -861,7 +881,7 @@ std::ptrdiff_t
 TcpTransport::pollTagInto(NodeId dst, int tag, const ReserveFn &reserve)
 {
     Node &n = *nodes_[dst];
-    std::lock_guard<std::mutex> lock(n.recvMutex);
+    MutexLock lock(n.recvMutex);
     for (auto it = n.selfBox.begin(); it != n.selfBox.end(); ++it) {
         if (it->tag != tag)
             continue;
@@ -930,7 +950,7 @@ TcpTransport::pollTagInto(NodeId dst, int tag, const ReserveFn &reserve)
 void
 TcpTransport::registerHandler(NodeId node, RequestHandler handler)
 {
-    std::lock_guard<std::mutex> lock(handlerMutex_);
+    MutexLock lock(handlerMutex_);
     handlers_[node] = std::move(handler);
 }
 
@@ -941,7 +961,7 @@ TcpTransport::request(NodeId src, NodeId dst, int tag,
 {
     RequestHandler local;
     {
-        std::lock_guard<std::mutex> lock(handlerMutex_);
+        MutexLock lock(handlerMutex_);
         if (src == dst)
             local = handlers_[dst];
     }
@@ -951,17 +971,19 @@ TcpTransport::request(NodeId src, NodeId dst, int tag,
     }
 
     Node &n = *nodes_[src];
-    std::mutex *pair;
+    Mutex *pair;
     {
-        std::lock_guard<std::mutex> lock(n.ctrlMutex);
+        MutexLock lock(n.ctrlMutex);
         auto &slot = n.ctrlPair[dst];
         if (!slot)
-            slot = std::make_unique<std::mutex>();
+            slot = std::make_unique<Mutex>();
         pair = slot.get();
     }
     // One request in flight per (src, dst) pair: the shared control
-    // connection carries strict request/reply exchanges.
-    std::lock_guard<std::mutex> exchange(*pair);
+    // connection carries strict request/reply exchanges. Held across
+    // the round trip BY DESIGN — it is the exchange discipline, not
+    // incidental locking (lint rule 2 allowlists this site).
+    MutexLock exchange(*pair);
 
     for (int attempt = 0; attempt <= opts.maxRetries; ++attempt) {
         if (attempt > 0) {
@@ -972,7 +994,7 @@ TcpTransport::request(NodeId src, NodeId dst, int tag,
         int fd;
         std::uint32_t req_id;
         {
-            std::lock_guard<std::mutex> lock(n.ctrlMutex);
+            MutexLock lock(n.ctrlMutex);
             fd = ctrlConnFor(n, src, dst);
             req_id = n.nextReqId++;
         }
@@ -1006,7 +1028,7 @@ TcpTransport::request(NodeId src, NodeId dst, int tag,
             std::uint8_t rhdr[frame::controlHeaderBytes];
             if (!recvFully(fd, rhdr, sizeof(rhdr))) {
                 // Peer dropped the connection: reconnect and resend.
-                std::lock_guard<std::mutex> lock(n.ctrlMutex);
+                MutexLock lock(n.ctrlMutex);
                 ::close(fd);
                 n.ctrlOut.erase(dst);
                 break;
@@ -1054,7 +1076,7 @@ TcpTransport::acceptPending(NodeId node)
                 "TcpTransport: handshake from out-of-range node id");
         if (h.channel == frame::channelData) {
             {
-                std::lock_guard<std::mutex> lock(poolMutex_);
+                MutexLock lock(poolMutex_);
                 panicIf(n.pairFd.count(h.src) != 0,
                         "TcpTransport: duplicate pair connection "
                         "from node " + std::to_string(h.src));
@@ -1085,11 +1107,11 @@ TcpTransport::dropPair(NodeId node, NodeId peer, int fd)
     {
         // Erase the write queue before close so a concurrent
         // help-flush cannot land on a reused fd number.
-        std::lock_guard<std::mutex> lock(n.outMutex);
+        MutexLock lock(n.outMutex);
         n.outbound.erase(fd);
     }
     ::close(fd); // also removes it from the epoll set
-    std::lock_guard<std::mutex> lock(poolMutex_);
+    MutexLock lock(poolMutex_);
     auto it = n.pairFd.find(peer);
     if (it != n.pairFd.end() && it->second == fd)
         n.pairFd.erase(it);
@@ -1112,7 +1134,7 @@ TcpTransport::serveControl(NodeId node, int fd)
 
     RequestHandler handler;
     {
-        std::lock_guard<std::mutex> lock(handlerMutex_);
+        MutexLock lock(handlerMutex_);
         handler = handlers_[node];
     }
     panicIf(!handler, "request: node has no registered handler");
@@ -1163,7 +1185,7 @@ TcpTransport::handlePairReadable(NodeId node, NodeId peer, int fd)
     hb.got = 0; // consumed: ready for this connection's next header
     frame::MuxHeader h = frame::decodeMuxHeader(hb.bytes);
     if (h.kind == frame::kindCredit) {
-        std::lock_guard<std::mutex> lock(n.sendMutex);
+        MutexLock lock(n.sendMutex);
         auto it = n.streams.find(std::make_pair(peer, h.tag));
         if (it == n.streams.end())
             return; // grant for a stream we no longer track
@@ -1184,7 +1206,7 @@ TcpTransport::handlePairReadable(NodeId node, NodeId peer, int fd)
             "TcpTransport: mux frame origin does not match peer");
     // Park the frame: payload stays in the kernel until a consumer
     // claims it (zero-copy) or staging relieves head-of-line.
-    std::lock_guard<std::mutex> lock(n.recvMutex);
+    MutexLock lock(n.recvMutex);
     epollDel(node, fd);
     n.parked.push_back(Parked{fd, peer, h.tag, h.arg});
     ++n.recvVersion;
@@ -1192,7 +1214,7 @@ TcpTransport::handlePairReadable(NodeId node, NodeId peer, int fd)
         // Deleting the registration dropped EPOLLOUT with it; the
         // claim re-adds EPOLLIN only, so record the truth and let
         // flushPairWrites re-arm once the fd is back in the set.
-        std::lock_guard<std::mutex> olock(n.outMutex);
+        MutexLock olock(n.outMutex);
         auto it = n.outbound.find(fd);
         if (it != n.outbound.end())
             it->second.armed = false;
@@ -1205,13 +1227,13 @@ TcpTransport::drainGrants(NodeId node)
     Node &n = *nodes_[node];
     std::deque<Grant> pending;
     {
-        std::lock_guard<std::mutex> lock(n.sendMutex);
+        MutexLock lock(n.sendMutex);
         pending.swap(n.grants);
     }
     for (const Grant &g : pending) {
         int fd = -1;
         {
-            std::lock_guard<std::mutex> lock(poolMutex_);
+            MutexLock lock(poolMutex_);
             auto it = n.pairFd.find(g.peer);
             if (it != n.pairFd.end())
                 fd = it->second;
@@ -1235,7 +1257,7 @@ TcpTransport::drainSends(NodeId node)
     // Destinations with anything queued, sampled under the lock...
     std::vector<NodeId> dsts;
     {
-        std::lock_guard<std::mutex> lock(n.sendMutex);
+        MutexLock lock(n.sendMutex);
         for (auto &[key, s] : n.streams) {
             if (!s.queue.empty() &&
                 (dsts.empty() || dsts.back() != key.first))
@@ -1256,7 +1278,7 @@ TcpTransport::drainSends(NodeId node)
     std::vector<TxFrame> batch;
     bool popped = false;
     {
-        std::lock_guard<std::mutex> lock(n.sendMutex);
+        MutexLock lock(n.sendMutex);
         for (auto &[key, s] : n.streams) {
             auto fit = fds.find(key.first);
             if (fit == fds.end() || fit->second < 0)

@@ -69,16 +69,15 @@
 #ifndef SKYWAY_NET_TCP_TRANSPORT_HH
 #define SKYWAY_NET_TCP_TRANSPORT_HH
 
-#include <condition_variable>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <utility>
 
 #include "net/frame.hh"
 #include "net/transport.hh"
+#include "support/thread_annotations.hh"
 
 namespace skyway
 {
@@ -194,43 +193,51 @@ class TcpTransport final : public Transport
          * consumer threads (claim parked frames, stage misfits):
          * local deliveries, staged copies, parked frames, and the
          * per-tag miss tracking that decides when staging is forced.
+         * Lock order: recvMutex may be held while taking sendMutex
+         * (grant queuing), poolMutex_ and a peer's outMutex (the
+         * help-flush chain) — never the reverse.
          */
-        std::mutex recvMutex;
-        std::deque<NetMessage> selfBox;
-        std::deque<NetMessage> staged;
-        std::vector<Parked> parked;
+        Mutex recvMutex;
+        std::deque<NetMessage> selfBox GUARDED_BY(recvMutex);
+        std::deque<NetMessage> staged GUARDED_BY(recvMutex);
+        std::vector<Parked> parked GUARDED_BY(recvMutex);
         /** Bumped whenever parked/staged state changes; a tag that
          *  misses twice at the same version forces staging. */
-        std::uint64_t recvVersion = 0;
-        std::map<int, std::uint64_t> lastMiss;
+        std::uint64_t recvVersion GUARDED_BY(recvMutex) = 0;
+        std::map<int, std::uint64_t> lastMiss GUARDED_BY(recvMutex);
 
         /** Send side: per-stream queues drained by this node's loop,
          *  plus credit grants owed to peers. */
-        std::mutex sendMutex;
-        std::condition_variable sendCv;
-        std::map<std::pair<NodeId, int>, TxStream> streams;
-        std::deque<Grant> grants;
+        Mutex sendMutex;
+        CondVar sendCv;
+        std::map<std::pair<NodeId, int>, TxStream> streams GUARDED_BY(
+            sendMutex);
+        std::deque<Grant> grants GUARDED_BY(sendMutex);
 
         /** This node's end of each established pair connection,
-         *  keyed by peer; guarded by the transport-wide poolMutex_. */
+         *  keyed by peer; guarded by the transport-wide poolMutex_
+         *  (not annotatable from a nested struct — the invariant is
+         *  enforced by review; see docs/STATIC_ANALYSIS.md). */
         std::map<NodeId, int> pairFd;
 
         /** Write side of the pair connections, keyed by fd; guarded
          *  by outMutex because consumers blocked on a parked payload
          *  help-flush the *peer's* buffer (see helpFlushPair). */
-        std::mutex outMutex;
-        std::map<int, OutBuf> outbound;
+        Mutex outMutex;
+        std::map<int, OutBuf> outbound GUARDED_BY(outMutex);
 
-        /** Loop-owned header reassembly per pair fd; no lock. */
+        /** Loop-owned header reassembly per pair fd; no lock — only
+         *  this node's event loop thread ever touches it. */
         std::map<int, HdrBuf> hdrPartial;
 
         /** Outbound control connections, one per destination; the
          *  per-destination mutex serializes request/reply exchanges
          *  on the shared connection. */
-        std::mutex ctrlMutex;
-        std::map<NodeId, int> ctrlOut;
-        std::map<NodeId, std::unique_ptr<std::mutex>> ctrlPair;
-        std::uint32_t nextReqId = 1;
+        Mutex ctrlMutex;
+        std::map<NodeId, int> ctrlOut GUARDED_BY(ctrlMutex);
+        std::map<NodeId, std::unique_ptr<Mutex>> ctrlPair GUARDED_BY(
+            ctrlMutex);
+        std::uint32_t nextReqId GUARDED_BY(ctrlMutex) = 1;
 
         /** Inbound control connections; loop-owned, no lock. */
         std::vector<int> ctrlIn;
@@ -275,7 +282,8 @@ class TcpTransport final : public Transport
      *  counts) transient failures. */
     int connectTo(NodeId dst, const std::uint8_t *shake,
                   std::size_t shake_len);
-    int ctrlConnFor(Node &n, NodeId src, NodeId dst);
+    int ctrlConnFor(Node &n, NodeId src, NodeId dst)
+        REQUIRES(n.ctrlMutex);
 
     /** Deliver payload bytes back to @p src's credit window (and
      *  wake our loop to write the grant frame). */
@@ -283,11 +291,12 @@ class TcpTransport final : public Transport
                     std::uint32_t bytes);
 
     /** Read parked frames' payloads into staged-side storage, re-arm
-     *  their fds, and record the copies; recvMutex held. With
-     *  @p onlyFds, stages just the frames parked on those fds
-     *  (others stay parked, order preserved). */
+     *  their fds, and record the copies. With @p onlyFds, stages just
+     *  the frames parked on those fds (others stay parked, order
+     *  preserved). */
     void stageParked(NodeId node, Node &n,
-                     const std::set<int> *onlyFds = nullptr);
+                     const std::set<int> *onlyFds = nullptr)
+        REQUIRES(n.recvMutex);
 
     /** Deadlock guard run every loop iteration: a stream stalled on
      *  credit past the rescue threshold may be waiting on a grant
@@ -315,9 +324,10 @@ class TcpTransport final : public Transport
     void sendOrQueue(Node &n, NodeId peer, int fd,
                      const std::uint8_t *p, std::size_t len);
 
-    /** Drain one outbound buffer as far as the socket allows; true
-     *  when it emptied. Caller holds the owning node's outMutex. */
-    bool flushOutBuf(int fd, OutBuf &ob);
+    /** Drain one outbound buffer of @p n as far as the socket
+     *  allows; true when it emptied. */
+    bool flushOutBuf(Node &n, int fd, OutBuf &ob)
+        REQUIRES(n.outMutex);
 
     /** Loop step: drain every outbound buffer, arming EPOLLOUT on
      *  the connections that still hold bytes and disarming (and
@@ -355,19 +365,20 @@ class TcpTransport final : public Transport
     {
         bool claimed = false;
     };
-    std::mutex poolMutex_;
-    std::map<std::pair<NodeId, NodeId>, PairEntry> pool_;
+    Mutex poolMutex_;
+    std::map<std::pair<NodeId, NodeId>, PairEntry> pool_ GUARDED_BY(
+        poolMutex_);
 
-    std::mutex handlerMutex_;
-    std::vector<RequestHandler> handlers_;
+    Mutex handlerMutex_;
+    std::vector<RequestHandler> handlers_ GUARDED_BY(handlerMutex_);
     std::atomic<bool> running_{true};
 
     /** In-flight send() census: the destructor must not close fds or
      *  free Node state while a sender released from the bounded-
      *  queue wait is still on its way out. */
-    std::mutex sendersMutex_;
-    std::condition_variable sendersCv_;
-    int inFlightSenders_ = 0;
+    Mutex sendersMutex_;
+    CondVar sendersCv_;
+    int inFlightSenders_ GUARDED_BY(sendersMutex_) = 0;
 };
 
 } // namespace skyway

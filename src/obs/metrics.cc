@@ -92,7 +92,7 @@ MetricsRegistry::global()
 Counter &
 MetricsRegistry::counter(std::string_view name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(name);
     if (it == entries_.end())
         it = entries_.emplace(std::string(name), Entry{}).first;
@@ -108,7 +108,7 @@ MetricsRegistry::counter(std::string_view name)
 Gauge &
 MetricsRegistry::gauge(std::string_view name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(name);
     if (it == entries_.end())
         it = entries_.emplace(std::string(name), Entry{}).first;
@@ -125,7 +125,7 @@ Histogram &
 MetricsRegistry::histogram(std::string_view name,
                            const std::vector<std::uint64_t> &bounds)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(name);
     if (it == entries_.end())
         it = entries_.emplace(std::string(name), Entry{}).first;
@@ -141,7 +141,7 @@ MetricsRegistry::histogram(std::string_view name,
 MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     MetricsSnapshot snap;
     snap.scalars.reserve(entries_.size());
     for (const auto &[name, e] : entries_) {
@@ -157,7 +157,7 @@ MetricsRegistry::snapshot() const
 std::string
 MetricsRegistry::toJson() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     JsonWriter w;
     w.beginObject();
     w.key("counters");
@@ -208,7 +208,7 @@ MetricsRegistry::toJson() const
 void
 MetricsRegistry::resetValues()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto &[name, e] : entries_) {
         (void)name;
         if (e.counter)

@@ -32,10 +32,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "support/thread_annotations.hh"
 
 namespace skyway
 {
@@ -208,9 +209,12 @@ class MetricsRegistry
         std::unique_ptr<Histogram> histogram;
     };
 
-    mutable std::mutex mutex_;
-    /** Ordered so snapshots and JSON are deterministically sorted. */
-    std::map<std::string, Entry, std::less<>> entries_;
+    mutable Mutex mutex_;
+    /** Ordered so snapshots and JSON are deterministically sorted.
+     *  The lock covers the map only — the metric objects it points to
+     *  are updated lock-free through stable references. */
+    std::map<std::string, Entry, std::less<>> entries_ GUARDED_BY(
+        mutex_);
 };
 
 } // namespace obs

@@ -22,7 +22,7 @@ SpanTracer::global()
 SpanStats &
 SpanTracer::span(std::string_view name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = spans_.find(name);
     if (it == spans_.end())
         it = spans_
@@ -53,7 +53,7 @@ SpanTracer::segmentRowsLocked() const
 void
 SpanTracer::beginPhase(std::string label)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<SpanRow> rows = segmentRowsLocked();
     if (!rows.empty()) {
         phases_.push_back(
@@ -71,14 +71,14 @@ SpanTracer::beginPhase(std::string label)
 std::vector<SpanTracer::PhaseReport>
 SpanTracer::completedPhases() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return {phases_.begin(), phases_.end()};
 }
 
 std::vector<SpanTracer::SpanRow>
 SpanTracer::cumulative() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<SpanRow> rows;
     rows.reserve(spans_.size());
     for (const auto &[name, stats] : spans_)
@@ -90,7 +90,7 @@ SpanTracer::cumulative() const
 std::string
 SpanTracer::toJson() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     JsonWriter w;
     w.beginObject();
     w.key("spans");
@@ -130,7 +130,7 @@ SpanTracer::toJson() const
 void
 SpanTracer::reset()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto &[name, stats] : spans_) {
         (void)name;
         stats->reset();

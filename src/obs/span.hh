@@ -31,12 +31,12 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "support/stopwatch.hh"
+#include "support/thread_annotations.hh"
 
 namespace skyway
 {
@@ -184,7 +184,15 @@ class SpanTracer
     std::vector<PhaseReport> completedPhases() const;
 
     /** Segments evicted from the completed-phase window so far. */
-    std::uint64_t droppedPhases() const { return dropped_; }
+    std::uint64_t
+    droppedPhases() const
+    {
+        // dropped_ moves under mutex_ (beginPhase); reading it bare
+        // raced with a concurrent phase boundary. Surfaced by the
+        // SkywayGuard annotations (docs/STATIC_ANALYSIS.md).
+        MutexLock lock(mutex_);
+        return dropped_;
+    }
 
     /** Cumulative (all-time) rows, name-sorted. */
     std::vector<SpanRow> cumulative() const;
@@ -207,20 +215,23 @@ class SpanTracer
         std::uint64_t totalNs = 0;
     };
 
-    /** Build the current segment's rows; caller holds mutex_. */
-    std::vector<SpanRow> segmentRowsLocked() const;
+    /** Build the current segment's rows. */
+    std::vector<SpanRow> segmentRowsLocked() const REQUIRES(mutex_);
 
     static std::atomic<bool> tracingEnabled_;
 
-    mutable std::mutex mutex_;
-    /** Ordered map: JSON and reports come out name-sorted. */
+    mutable Mutex mutex_;
+    /** Ordered map: JSON and reports come out name-sorted. The lock
+     *  covers the map; the SpanStats objects behind the pointers are
+     *  recorded into lock-free through stable references. */
     std::map<std::string, std::unique_ptr<SpanStats>, std::less<>>
-        spans_;
+        spans_ GUARDED_BY(mutex_);
     /** Per-span values at the last phase boundary. */
-    std::map<std::string, Baseline, std::less<>> baseline_;
-    std::string currentLabel_ = "startup";
-    std::deque<PhaseReport> phases_;
-    std::uint64_t dropped_ = 0;
+    std::map<std::string, Baseline, std::less<>> baseline_ GUARDED_BY(
+        mutex_);
+    std::string currentLabel_ GUARDED_BY(mutex_) = "startup";
+    std::deque<PhaseReport> phases_ GUARDED_BY(mutex_);
+    std::uint64_t dropped_ GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace obs

@@ -13,13 +13,13 @@
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "heap/heap.hh"
 #include "klass/klass.hh"
 #include "obs/span.hh"
+#include "support/thread_annotations.hh"
 #include "typereg/registry.hh"
 
 namespace skyway
@@ -133,9 +133,9 @@ class SkywayContext
      * concurrent stream-id wrap.
      */
     std::uint8_t
-    shuffleStart()
+    shuffleStart() EXCLUDES(phaseMutex_)
     {
-        std::lock_guard<std::mutex> lock(phaseMutex_);
+        MutexLock lock(phaseMutex_);
         std::uint8_t cur = sid_.load(std::memory_order_relaxed);
         std::uint8_t next = (cur == 255) ? 1 : cur + 1;
         sid_.store(next, std::memory_order_release);
@@ -164,12 +164,12 @@ class SkywayContext
      * setup may allocate ids from several threads.
      */
     std::uint16_t
-    allocateStreamId()
+    allocateStreamId() EXCLUDES(streamIdMutex_, phaseMutex_)
     {
         std::uint16_t id;
         bool wrapped;
         {
-            std::lock_guard<std::mutex> lock(streamIdMutex_);
+            MutexLock lock(streamIdMutex_);
             id = nextStreamId_++;
             wrapped = (nextStreamId_ == 0);
             if (wrapped)
@@ -188,12 +188,16 @@ class SkywayContext
      * not thread-safe.
      */
     std::int32_t
-    tidFor(Klass *k)
+    tidFor(Klass *k) EXCLUDES(tidMutex_)
     {
         std::int32_t t = k->tid();
         if (t != Klass::unregisteredTid)
             return t;
-        std::lock_guard<std::mutex> lock(tidMutex_);
+        // Serializes the first registration only; the resolver may
+        // perform a network round trip, so tidMutex_ must be leaf in
+        // the lock order — nothing below it ever takes another lock
+        // of ours (the transport's are a different subsystem).
+        MutexLock lock(tidMutex_);
         t = k->tid();
         if (t == Klass::unregisteredTid) {
             t = resolver_.idForClass(k->name());
@@ -210,12 +214,15 @@ class SkywayContext
     KlassTable &klasses_;
     TypeResolver &resolver_;
     std::atomic<std::uint8_t> sid_{0};
-    std::uint16_t nextStreamId_ = 1;
+    std::uint16_t nextStreamId_ GUARDED_BY(streamIdMutex_) = 1;
+    /** Unsynchronized by design: updates are registered during node
+     *  setup, before any transfer runs — registering concurrently
+     *  with a receive is not supported (docs/STATIC_ANALYSIS.md). */
     FieldUpdateRegistry updates_;
     DebugFlags debug_;
-    std::mutex tidMutex_;
-    std::mutex streamIdMutex_;
-    std::mutex phaseMutex_;
+    Mutex tidMutex_;
+    Mutex streamIdMutex_;
+    Mutex phaseMutex_;
 };
 
 } // namespace skyway

@@ -33,7 +33,7 @@ TypeRegistryDriver::TypeRegistryDriver(ClusterNetwork &net, NodeId node,
 std::int32_t
 TypeRegistryDriver::idForClass(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = registry_.find(name);
     if (it != registry_.end())
         return it->second;
@@ -46,7 +46,7 @@ TypeRegistryDriver::idForClass(const std::string &name)
 std::string
 TypeRegistryDriver::nameForId(std::int32_t id)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     panicIf(id < 0 || static_cast<std::size_t>(id) >= names_.size(),
             "TypeRegistryDriver: unknown type id " + std::to_string(id));
     return names_[id];
@@ -67,7 +67,7 @@ Klass *
 TypeRegistryDriver::tryKlassForId(std::int32_t id)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (id < 0 || static_cast<std::size_t>(id) >= names_.size())
             return nullptr;
     }
@@ -77,7 +77,7 @@ TypeRegistryDriver::tryKlassForId(std::int32_t id)
 std::vector<std::uint8_t>
 TypeRegistryDriver::encodeView() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     VectorSink sink;
     sink.writeVarU64(names_.size());
     for (std::size_t id = 0; id < names_.size(); ++id)
@@ -91,7 +91,7 @@ TypeRegistryDriver::handle(NodeId, int tag,
 {
     if (tag == regmsg::requestView) {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             ++stats_.viewRequestsServed;
             stats_.classStringsSent += names_.size();
         }
@@ -104,7 +104,7 @@ TypeRegistryDriver::handle(NodeId, int tag,
         // already-registered class is a lookup, so the protocol is
         // naturally idempotent.
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             ++stats_.lookupsServed;
         }
         ByteSource src(payload);
@@ -121,7 +121,7 @@ TypeRegistryDriver::handle(NodeId, int tag,
         // An unknown id gets an empty-name reply instead of a driver
         // panic: a worker probing a forged id from a corrupt stream
         // (the SkywaySan validator) must not crash the driver.
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         ++stats_.reverseLookupsServed;
         if (id >= 0 && static_cast<std::size_t>(id) < names_.size()) {
             sink.writeString(names_[id]);
@@ -166,7 +166,7 @@ TypeRegistryWorker::TypeRegistryWorker(ClusterNetwork &net, NodeId node,
 void
 TypeRegistryWorker::insertView(const std::string &name, std::int32_t id)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     view_[name] = id;
     idToName_[id] = name;
     if (id > maxId_)
@@ -176,7 +176,7 @@ TypeRegistryWorker::insertView(const std::string &name, std::int32_t id)
 RequestOptions
 TypeRegistryWorker::lookupOptions() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return lookupOpts_;
 }
 
@@ -184,7 +184,7 @@ std::int32_t
 TypeRegistryWorker::idForClass(const std::string &name)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = view_.find(name);
         if (it != view_.end())
             return it->second;
@@ -209,7 +209,7 @@ std::string
 TypeRegistryWorker::nameForId(std::int32_t id)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = idToName_.find(id);
         if (it != idToName_.end())
             return it->second;
@@ -234,7 +234,7 @@ TypeRegistryWorker::klassForId(std::int32_t id)
 {
     std::string name;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = idToName_.find(id);
         if (it != idToName_.end())
             name = it->second;
@@ -254,7 +254,7 @@ TypeRegistryWorker::tryKlassForId(std::int32_t id)
 {
     bool known;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         known = idToName_.count(id) != 0;
         if (!known)
             ++stats_.remoteLookupsIssued;

@@ -23,13 +23,13 @@
 #define SKYWAY_TYPEREG_REGISTRY_HH
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "klass/klass.hh"
 #include "net/cluster.hh"
+#include "support/thread_annotations.hh"
 
 namespace skyway
 {
@@ -108,16 +108,17 @@ class TypeRegistryDriver : public TypeResolver
     TypeRegistryDriver(ClusterNetwork &net, NodeId node,
                        KlassTable &klasses);
 
-    std::int32_t idForClass(const std::string &name) override;
-    std::string nameForId(std::int32_t id) override;
-    Klass *klassForId(std::int32_t id) override;
-    Klass *tryKlassForId(std::int32_t id) override;
+    std::int32_t idForClass(const std::string &name) override
+        EXCLUDES(mutex_);
+    std::string nameForId(std::int32_t id) override EXCLUDES(mutex_);
+    Klass *klassForId(std::int32_t id) override EXCLUDES(mutex_);
+    Klass *tryKlassForId(std::int32_t id) override EXCLUDES(mutex_);
 
     /** Driver ids are dense: the max is the count minus one. */
     std::int32_t
     maxAssignedId() const override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return static_cast<std::int32_t>(names_.size()) - 1;
     }
 
@@ -125,19 +126,19 @@ class TypeRegistryDriver : public TypeResolver
     std::size_t
     size() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return names_.size();
     }
 
     RegistryStats
     stats() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return stats_;
     }
 
     /** Serialize the full registry (the REQUEST_VIEW reply). */
-    std::vector<std::uint8_t> encodeView() const;
+    std::vector<std::uint8_t> encodeView() const EXCLUDES(mutex_);
 
   private:
     std::vector<std::uint8_t> handle(NodeId src, int tag,
@@ -154,10 +155,11 @@ class TypeRegistryDriver : public TypeResolver
      * accesses — never across klasses_.load(), whose load hook
      * re-enters idForClass().
      */
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string, std::int32_t> registry_;
-    std::vector<std::string> names_; // id -> name
-    RegistryStats stats_;
+    mutable Mutex mutex_;
+    std::unordered_map<std::string, std::int32_t> registry_ GUARDED_BY(
+        mutex_);
+    std::vector<std::string> names_ GUARDED_BY(mutex_); // id -> name
+    RegistryStats stats_ GUARDED_BY(mutex_);
 };
 
 /**
@@ -173,30 +175,33 @@ class TypeRegistryWorker : public TypeResolver
     TypeRegistryWorker(ClusterNetwork &net, NodeId node, NodeId driver,
                        KlassTable &klasses);
 
-    std::int32_t idForClass(const std::string &name) override;
-    std::string nameForId(std::int32_t id) override;
-    Klass *klassForId(std::int32_t id) override;
-    Klass *tryKlassForId(std::int32_t id) override;
+    /** Blocking on a view miss (one remote LOOKUP round trip) — must
+     *  never run under mutex_, ours or a caller's (lint rule 2). */
+    std::int32_t idForClass(const std::string &name) override
+        EXCLUDES(mutex_);
+    std::string nameForId(std::int32_t id) override EXCLUDES(mutex_);
+    Klass *klassForId(std::int32_t id) override EXCLUDES(mutex_);
+    Klass *tryKlassForId(std::int32_t id) override EXCLUDES(mutex_);
 
     /** View ids may be sparse; tracked as entries are inserted. */
     std::int32_t
     maxAssignedId() const override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return maxId_;
     }
 
     std::size_t
     viewSize() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return view_.size();
     }
 
     RegistryStats
     stats() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return stats_;
     }
 
@@ -208,13 +213,14 @@ class TypeRegistryWorker : public TypeResolver
     void
     setLookupOptions(const RequestOptions &opts)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         lookupOpts_ = opts;
     }
 
   private:
-    void insertView(const std::string &name, std::int32_t id);
-    RequestOptions lookupOptions() const;
+    void insertView(const std::string &name, std::int32_t id)
+        EXCLUDES(mutex_);
+    RequestOptions lookupOptions() const EXCLUDES(mutex_);
 
     ClusterNetwork &net_;
     NodeId node_;
@@ -226,12 +232,14 @@ class TypeRegistryWorker : public TypeResolver
      * across net_.request() (a blocking round trip) or
      * klasses_.load() (whose load hook re-enters idForClass()).
      */
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string, std::int32_t> view_;
-    std::unordered_map<std::int32_t, std::string> idToName_;
-    std::int32_t maxId_ = -1;
-    RegistryStats stats_;
-    RequestOptions lookupOpts_;
+    mutable Mutex mutex_;
+    std::unordered_map<std::string, std::int32_t> view_ GUARDED_BY(
+        mutex_);
+    std::unordered_map<std::int32_t, std::string> idToName_ GUARDED_BY(
+        mutex_);
+    std::int32_t maxId_ GUARDED_BY(mutex_) = -1;
+    RegistryStats stats_ GUARDED_BY(mutex_);
+    RequestOptions lookupOpts_ GUARDED_BY(mutex_);
 };
 
 } // namespace skyway

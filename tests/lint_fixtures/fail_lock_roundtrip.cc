@@ -1,0 +1,16 @@
+// lint-invariants fixture (MUST FAIL rule 2): a registry-view mutex
+// held across the blocking LOOKUP round trip. Not compiled — parsed
+// by tools/lint_invariants.py --selftest.
+
+int
+idForClassBad(Net &net_, const char *name)
+{
+    MutexLock lock(mutex_);
+    auto it = view_.find(name);
+    if (it != view_.end())
+        return it->second;
+    // Round trip with the lock held: the handler thread that serves
+    // this request may need mutex_ itself.
+    auto reply = net_.request(driver_, lookupTag, encode(name));
+    return decode(reply);
+}

@@ -1,0 +1,27 @@
+// lint-invariants fixture (MUST FAIL rule 1): the event loop reaches
+// an unbounded-blocking socket write through a helper. Not compiled —
+// parsed by tools/lint_invariants.py --selftest.
+
+void
+sendFully(int fd, const unsigned char *buf, unsigned long len)
+{
+    while (len) {
+        long n = ::send(fd, buf, len, 0);
+        buf += n;
+        len -= static_cast<unsigned long>(n);
+    }
+}
+
+void
+pumpWrites(int fd)
+{
+    unsigned char frame[16] = {};
+    sendFully(fd, frame, sizeof(frame)); // blocks the loop on a full peer
+}
+
+void
+eventLoop(int node)
+{
+    for (;;)
+        pumpWrites(node);
+}

@@ -1,0 +1,21 @@
+// lint-invariants fixture (MUST PASS rule 2): the lock covers only
+// the map probe and the round trip runs with it released. Not
+// compiled — parsed by tools/lint_invariants.py --selftest.
+
+int
+idForClassGood(Net &net_, const char *name)
+{
+    {
+        MutexLock lock(mutex_);
+        auto it = view_.find(name);
+        if (it != view_.end())
+            return it->second;
+    }
+    auto reply = net_.request(driver_, lookupTag, encode(name));
+    std::int32_t id = decode(reply);
+    {
+        MutexLock lock(mutex_);
+        view_[name] = id;
+    }
+    return id;
+}

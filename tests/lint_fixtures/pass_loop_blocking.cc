@@ -1,0 +1,27 @@
+// lint-invariants fixture (MUST PASS rule 1): every socket op the
+// loop can reach is non-blocking (MSG_DONTWAIT). Not compiled —
+// parsed by tools/lint_invariants.py --selftest.
+
+unsigned long
+pumpWrites(int fd, const unsigned char *buf, unsigned long len)
+{
+    long n = ::send(fd, buf, len,
+                    MSG_NOSIGNAL | MSG_DONTWAIT);
+    return n < 0 ? 0 : static_cast<unsigned long>(n);
+}
+
+void
+readHeader(int fd, unsigned char *hdr)
+{
+    ::recv(fd, hdr, 13, MSG_DONTWAIT);
+}
+
+void
+eventLoop(int node)
+{
+    unsigned char hdr[13];
+    for (;;) {
+        pumpWrites(node, hdr, sizeof(hdr));
+        readHeader(node, hdr);
+    }
+}

@@ -147,8 +147,8 @@ TEST_P(FlinkQueryTest, BuiltinAndSkywayAgree)
 
 INSTANTIATE_TEST_SUITE_P(Queries, FlinkQueryTest,
                          ::testing::Values('A', 'B', 'C', 'D', 'E'),
-                         [](const auto &info) {
-                             return std::string(1, info.param);
+                         [](const auto &pinfo) {
+                             return std::string(1, pinfo.param);
                          });
 
 TEST(FlinkLaziness, DeserBelowSerOnWideRows)

@@ -281,8 +281,8 @@ TEST_P(SdTest, DeserializationSurvivesGcPressure)
 
 INSTANTIATE_TEST_SUITE_P(AllSerializers, SdTest,
                          ::testing::Values(0, 1, 2),
-                         [](const auto &info) {
-                             switch (info.param) {
+                         [](const auto &pinfo) {
+                             switch (pinfo.param) {
                                case 0: return "java";
                                case 1: return "kryo";
                                default: return "kryoFlat";

@@ -29,6 +29,7 @@
 #include "net/cluster.hh"
 #include "net/frame.hh"
 #include "net/tcp_transport.hh"
+#include "obs/metrics.hh"
 #include "skyway/parallel.hh"
 #include "skyway/streams.hh"
 #include "typereg/registry.hh"
@@ -292,6 +293,33 @@ TEST(TcpCluster, ResetAccountingClearsWireCounters)
     EXPECT_EQ(net.totalBytesSent(0), 0u);
     EXPECT_EQ(net.wireNs(0), 0u);
     EXPECT_EQ(net.messagesSent(0), 0u);
+}
+
+/** Destroying a fabric with still-active streams and pooled
+ *  connections must return the process-wide gauges to their prior
+ *  level. The unwind walks sendMutex-/poolMutex_-guarded state; it
+ *  used to read it unlocked, which the SkywayGuard thread-safety
+ *  annotations flagged (docs/STATIC_ANALYSIS.md). */
+TEST(TcpCluster, GaugesUnwindOnDestruction)
+{
+    auto &reg = obs::MetricsRegistry::global();
+    obs::Gauge &streams = reg.gauge("net.streams_active");
+    obs::Gauge &pooled = reg.gauge("net.pooled_connections");
+    std::int64_t streams0 = streams.value();
+    std::int64_t pooled0 = pooled.value();
+    {
+        ClusterNetwork net(3, gigabitEthernet(), TransportKind::Tcp);
+        // Streams deliberately left open (no end-of-stream marker)
+        // so destruction finds them active.
+        net.send(0, 1, 9, bytesOf("left-open"));
+        net.send(1, 2, 9, bytesOf("left-open"));
+        awaitTag(net, 1, 9);
+        awaitTag(net, 2, 9);
+        EXPECT_GE(streams.value(), streams0 + 2);
+        EXPECT_GE(pooled.value(), pooled0 + 2);
+    }
+    EXPECT_EQ(streams.value(), streams0);
+    EXPECT_EQ(pooled.value(), pooled0);
 }
 
 /** The same traffic pattern on both transports must account

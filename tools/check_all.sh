@@ -1,0 +1,37 @@
+#!/bin/sh
+# The full local gate (docs/STATIC_ANALYSIS.md §5): tier-1 tests,
+# the lint label, and the SKYWAY_ANALYZE build, in one command.
+#
+#   tools/check_all.sh [SOURCE_ROOT]
+#
+# Exits non-zero on the first failing stage. Uses clang++ for the
+# analyze tree when available (full thread-safety analysis); falls
+# back to the default compiler (-Werror only) otherwise.
+set -eu
+
+root=$(cd "${1:-$(dirname "$0")/..}" && pwd)
+jobs=$(nproc 2>/dev/null || echo 2)
+
+echo "== [1/4] configure + build (default flags) =="
+cmake -B "$root/build" -S "$root"
+cmake --build "$root/build" -j "$jobs"
+
+echo "== [2/4] tier-1 test suite =="
+ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
+
+echo "== [3/4] lint label =="
+ctest --test-dir "$root/build" -L lint --output-on-failure
+
+echo "== [4/4] static-analysis build (SKYWAY_ANALYZE=ON) =="
+if command -v clang++ >/dev/null 2>&1; then
+    CXX=clang++ cmake -B "$root/build-analyze" -S "$root" \
+        -DSKYWAY_ANALYZE=ON
+else
+    echo "clang++ not found: analyze tree degrades to -Werror" \
+         "(thread-safety analysis needs clang; see" \
+         "docs/STATIC_ANALYSIS.md)"
+    cmake -B "$root/build-analyze" -S "$root" -DSKYWAY_ANALYZE=ON
+fi
+cmake --build "$root/build-analyze" -j "$jobs"
+
+echo "check_all: all gates green"
