@@ -5,6 +5,13 @@
  * measured headers 51%, padding 34%, pointers 15% of the extra bytes
  * across its Spark applications; we reproduce the analysis from the
  * sender's byte-composition counters over the same workload mix.
+ *
+ * The second phase quantifies what the adaptive compact encoding
+ * (docs/WIRE_FORMAT.md) claws back: the same mix is re-serialized
+ * under every SKYWAY_WIRE_COMPACT mode and the actual on-the-wire
+ * byte counts are reported per mode. The bench fails if Auto saves
+ * less than 25% on this padding/pointer-heavy mix — the encoding's
+ * reason to exist.
  */
 
 #include "bench/benchutil.hh"
@@ -28,40 +35,59 @@ main(int argc, char **argv)
 
     // A workload mix shaped like the Spark shuffles: small records
     // (contribs/labels/pairs with strings) plus arrays.
-    SkywaySerializer ser(sender.skyway());
-    VectorSink sink;
     LocalRoots roots(sender.heap());
-    Rng rng(5);
-
-    Klass *contribK = sender.klasses().load("spark.Contrib");
-    Klass *pairK = sender.klasses().load("spark.WordPair");
-    const int records = static_cast<int>(40000 * scale);
-    for (int i = 0; i < records; ++i) {
-        Address rec;
-        if (i % 3 == 0) {
-            std::size_t rs = roots.push(sender.builder().makeString(
-                "word" + std::to_string(rng.nextBounded(1000))));
-            rec = sender.heap().allocateInstance(pairK);
-            field::setRef(sender.heap(), rec,
-                          pairK->requireField("word"), roots.get(rs));
-            field::set<std::int64_t>(sender.heap(), rec,
-                                     pairK->requireField("count"),
-                                     i);
-        } else {
-            rec = sender.heap().allocateInstance(contribK);
-            field::set<std::int32_t>(sender.heap(), rec,
-                                     contribK->requireField("dst"),
-                                     i);
-            field::set<double>(sender.heap(), rec,
-                               contribK->requireField("rank"),
-                               rng.nextDouble());
+    std::vector<std::size_t> recs;
+    {
+        Rng rng(5);
+        Klass *contribK = sender.klasses().load("spark.Contrib");
+        Klass *pairK = sender.klasses().load("spark.WordPair");
+        const int records = static_cast<int>(40000 * scale);
+        for (int i = 0; i < records; ++i) {
+            Address rec;
+            if (i % 3 == 0) {
+                std::size_t rs =
+                    roots.push(sender.builder().makeString(
+                        "word" +
+                        std::to_string(rng.nextBounded(1000))));
+                rec = sender.heap().allocateInstance(pairK);
+                field::setRef(sender.heap(), rec,
+                              pairK->requireField("word"),
+                              roots.get(rs));
+                field::set<std::int64_t>(sender.heap(), rec,
+                                         pairK->requireField("count"),
+                                         i);
+            } else {
+                rec = sender.heap().allocateInstance(contribK);
+                field::set<std::int32_t>(sender.heap(), rec,
+                                         contribK->requireField("dst"),
+                                         i);
+                field::set<double>(sender.heap(), rec,
+                                   contribK->requireField("rank"),
+                                   rng.nextDouble());
+            }
+            recs.push_back(roots.push(rec));
         }
-        std::size_t rr = roots.push(rec);
-        ser.writeObject(roots.get(rr), sink);
     }
-    ser.endStream(sink);
 
-    SkywaySendStats s = ser.sendStats();
+    // Serialize the mix once per wire-compaction mode; the sink sees
+    // the post-encoding wire bytes, sendStats() the raw composition.
+    auto serializeMix = [&](WireCompactMode mode,
+                            SkywaySendStats *stats) {
+        sender.skyway().setWireCompactMode(mode);
+        SkywaySerializer ser(sender.skyway());
+        ser.startPhase();
+        VectorSink sink;
+        for (std::size_t rr : recs)
+            ser.writeObject(roots.get(rr), sink);
+        ser.endStream(sink);
+        if (stats)
+            *stats = ser.sendStats();
+        return sink.bytesWritten();
+    };
+
+    SkywaySendStats s;
+    std::uint64_t rawWire = serializeMix(WireCompactMode::Off, &s);
+
     std::uint64_t extra = s.headerBytes + s.paddingBytes +
                           s.pointerBytes;
     bench::printHeader(
@@ -89,5 +115,40 @@ main(int argc, char **argv)
     row.value("header_pct", 100.0 * s.headerBytes / extra);
     row.value("padding_pct", 100.0 * s.paddingBytes / extra);
     row.value("pointer_pct", 100.0 * s.pointerBytes / extra);
+
+    // Phase 2: the compact-encoding diet on the same mix.
+    bench::printHeader(
+        "Wire bytes per SKYWAY_WIRE_COMPACT mode (docs/WIRE_FORMAT.md)");
+    struct Mode
+    {
+        const char *name;
+        WireCompactMode mode;
+    };
+    const Mode modes[] = {
+        {"raw", WireCompactMode::Off},
+        {"auto", WireCompactMode::Auto},
+        {"force", WireCompactMode::Force},
+    };
+    double autoSavedPct = 0;
+    for (const Mode &m : modes) {
+        std::uint64_t wireBytes =
+            m.mode == WireCompactMode::Off
+                ? rawWire
+                : serializeMix(m.mode, nullptr);
+        double savedPct =
+            100.0 * (1.0 - static_cast<double>(wireBytes) / rawWire);
+        if (m.mode == WireCompactMode::Auto)
+            autoSavedPct = savedPct;
+        std::printf("%-6s %12llu B   saved %5.1f%%\n", m.name,
+                    static_cast<unsigned long long>(wireBytes),
+                    savedPct);
+        auto wrow = report.row(std::string("wire/") + m.name);
+        wrow.value("wire_bytes", static_cast<double>(wireBytes));
+        wrow.value("saved_pct", savedPct);
+    }
+    if (autoSavedPct < 25.0)
+        fatal("adaptive compact encoding saved only " +
+              std::to_string(autoSavedPct) +
+              "% on the padding/pointer-heavy mix (need >= 25%)");
     return 0;
 }

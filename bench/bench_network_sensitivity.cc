@@ -90,16 +90,25 @@ main(int argc, char **argv)
     bench::printHeader(
         "Network sensitivity: PageRank/LJ total time (ms/worker)");
     std::printf("transport: %s\n", transportKindName(transport));
-    std::printf("%-10s %10s %10s %10s %12s\n", "link", "java",
-                "kryo", "skyway", "winner");
+    std::printf("%-10s %10s %10s %10s %10s %12s\n", "link", "java",
+                "kryo", "skyway", "skyway-c", "winner");
 
     // The 1GbE column's fabric counters, kept for the parity phase.
     std::vector<FabricCount> firstLink;
+    // skyway vs skyway-c per link, for the crossover assertions.
+    struct WirePair
+    {
+        double rawMs = 0, compactMs = 0;
+        std::uint64_t rawBytes = 0, compactBytes = 0;
+    };
+    std::vector<WirePair> wire(std::size(links));
 
+    std::size_t linkIdx = 0;
     for (const Link &link : links) {
-        double totals[3];
+        double totals[4];
         int i = 0;
-        for (const std::string which : {"java", "kryo", "skyway"}) {
+        for (const std::string which :
+             {"java", "kryo", "skyway", "skyway-c"}) {
             auto row =
                 report.row(std::string(link.name) + "/" + which);
             bench::SparkSetup setup = bench::makeSparkSetup(which);
@@ -116,17 +125,64 @@ main(int argc, char **argv)
                       static_cast<double>(fc.totalBytes()));
             row.value("fabric_msgs",
                       static_cast<double>(fc.totalMsgs()));
+            if (which == "skyway") {
+                wire[linkIdx].rawMs = totals[i];
+                wire[linkIdx].rawBytes = fc.totalBytes();
+            } else if (which == "skyway-c") {
+                wire[linkIdx].compactMs = totals[i];
+                wire[linkIdx].compactBytes = fc.totalBytes();
+            }
             if (&link == &links[0])
                 firstLink.push_back(std::move(fc));
             ++i;
         }
         const char *winner =
-            totals[2] <= totals[0] && totals[2] <= totals[1]
-                ? "skyway"
-                : (totals[1] <= totals[0] ? "kryo" : "java");
-        std::printf("%-10s %10.1f %10.1f %10.1f %12s\n", link.name,
-                    totals[0], totals[1], totals[2], winner);
+            totals[3] <= totals[0] && totals[3] <= totals[1] &&
+                    totals[3] <= totals[2]
+                ? "skyway-c"
+                : (totals[2] <= totals[0] && totals[2] <= totals[1]
+                       ? "skyway"
+                       : (totals[1] <= totals[0] ? "kryo" : "java"));
+        std::printf("%-10s %10.1f %10.1f %10.1f %10.1f %12s\n",
+                    link.name, totals[0], totals[1], totals[2],
+                    totals[3], winner);
+        ++linkIdx;
     }
+
+    // Crossover assertions (docs/WIRE_FORMAT.md): on the slowest link
+    // the compact encoding must strictly cut fabric bytes and win (or
+    // tie) end-to-end; on the fastest link the Auto policy must have
+    // disabled itself — identical bytes, time within 10%. The byte
+    // checks are deterministic and always enforced; the end-to-end
+    // time checks include real S/D wall time, which at smoke scales
+    // (a few ms per run) is swamped by scheduler jitter on a loaded
+    // CI machine, so they only arm near the default scale.
+    const bool checkTimes = scale >= 0.1;
+    const WirePair &slow = wire.front();
+    if (slow.compactBytes >= slow.rawBytes)
+        fatal("wire compaction saved nothing at " +
+              std::string(links[0].name) + ": raw " +
+              std::to_string(slow.rawBytes) + " B vs compact " +
+              std::to_string(slow.compactBytes) + " B");
+    if (checkTimes && slow.compactMs > slow.rawMs * 1.01)
+        fatal("wire compaction lost end-to-end at " +
+              std::string(links[0].name) + ": raw " +
+              std::to_string(slow.rawMs) + " ms vs compact " +
+              std::to_string(slow.compactMs) + " ms");
+    const WirePair &fast = wire.back();
+    if (fast.compactBytes != fast.rawBytes)
+        fatal("Auto compacted on the free-bandwidth link " +
+              std::string(links[std::size(links) - 1].name) +
+              ": raw " + std::to_string(fast.rawBytes) +
+              " B vs compact " + std::to_string(fast.compactBytes) +
+              " B");
+    if (checkTimes && fast.compactMs > fast.rawMs * 1.10)
+        fatal("compact pass-through cost >10% on the fastest link");
+    std::printf("\ncrossover: compact saved %.1f%% fabric bytes at "
+                "%s, 0%% (disabled) at %s\n",
+                100.0 * (1.0 - static_cast<double>(slow.compactBytes) /
+                                   slow.rawBytes),
+                links[0].name, links[std::size(links) - 1].name);
 
     // Parity phase: the same workload on the other transport must
     // account identically, per node, byte for byte.
@@ -137,7 +193,8 @@ main(int argc, char **argv)
     std::printf("%-10s %16s %12s %8s\n", "serializer", "fabric_bytes",
                 "fabric_msgs", "parity");
     int i = 0;
-    for (const std::string which : {"java", "kryo", "skyway"}) {
+    for (const std::string which :
+         {"java", "kryo", "skyway", "skyway-c"}) {
         auto row = report.row(std::string("parity/") + which);
         bench::SparkSetup setup = bench::makeSparkSetup(which);
         SparkConfig cfg;

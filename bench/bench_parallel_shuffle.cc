@@ -123,24 +123,39 @@ main(int argc, char **argv)
 
         // Drain (untimed): the receiver ingests each stream through
         // the zero-copy reserve/commit handoff.
-        std::uint64_t zc_bytes = 0, recv_objects = 0;
+        std::uint64_t zc_bytes = 0, exp_bytes = 0, recv_objects = 0;
         for (unsigned w = 0; w < threads; ++w) {
             net.send(senderNode, receiverNode,
                      baseTag + static_cast<int>(w), {});
             while (!ins[w]->pump()) {}
             const SkywayReceiveStats &rs = ins[w]->buffer().stats();
             zc_bytes += rs.zeroCopyBytes;
+            exp_bytes += rs.expandedBytes;
             recv_objects += rs.objectsReceived;
             panicIf(!mediaContentWellFormed(receiver,
                                             ins[w]->readObject()),
                     "bench_parallel_shuffle: malformed received root");
         }
-        // The zero-copy invariant: every wire payload byte landed
-        // directly in chunk storage — nothing was staged and
-        // re-copied.
-        panicIf(zc_bytes != rep.totalBytes,
-                "bench_parallel_shuffle: zero_copy_bytes != payload "
-                "bytes");
+        if (sender.skyway().wireCompactMode() == WireCompactMode::Off) {
+            // The zero-copy invariant: every wire payload byte landed
+            // directly in chunk storage — nothing was staged and
+            // re-copied.
+            panicIf(zc_bytes != rep.totalBytes,
+                    "bench_parallel_shuffle: zero_copy_bytes != "
+                    "payload bytes");
+        } else {
+            // Compact segments are staged and re-expanded instead
+            // (docs/WIRE_FORMAT.md): zero-copy accounting excludes
+            // them, and the rebuilt record bytes land in
+            // expanded_bytes (markers excluded, so strictly less
+            // than the raw payload).
+            panicIf(zc_bytes != 0,
+                    "bench_parallel_shuffle: compact segments counted "
+                    "as zero-copy");
+            panicIf(exp_bytes == 0 || exp_bytes >= rep.totalBytes,
+                    "bench_parallel_shuffle: expanded_bytes "
+                    "accounting out of range");
+        }
 
         double mbps = rep.totalBytes / (wall_ns / 1e9) / 1e6;
         if (threads == 1)

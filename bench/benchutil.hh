@@ -85,7 +85,9 @@ fullCatalog()
     return cat;
 }
 
-/** One of the three Spark-facing serializer configurations. */
+/** One of the Spark-facing serializer configurations ("java",
+ *  "kryo", "skyway", or "skyway-c" — Skyway with the adaptive compact
+ *  wire encoding enabled, docs/WIRE_FORMAT.md). */
 struct SparkSetup
 {
     std::string name;
@@ -114,7 +116,7 @@ makeSparkSetup(const std::string &which)
         registerSparkAppKryo(*s.registry);
         s.factory =
             std::make_unique<KryoSerializerFactory>(s.registry);
-    } else if (which == "skyway") {
+    } else if (which == "skyway" || which == "skyway-c") {
         s.skywayFactory = std::make_unique<ClusterSkywayFactory>();
     } else {
         fatal("makeSparkSetup: unknown serializer " + which);
@@ -122,7 +124,12 @@ makeSparkSetup(const std::string &which)
     return s;
 }
 
-/** Build a cluster for @p setup (binds the Skyway factory). */
+/**
+ * Build a cluster for @p setup (binds the Skyway factory). The
+ * "skyway-c" setup switches every node's send path to the adaptive
+ * compact encoding; each Jvm has already derived its link cost from
+ * cfg.network, so the Auto policy self-tunes to the modeled fabric.
+ */
 inline std::unique_ptr<SparkCluster>
 makeCluster(const ClassCatalog &cat, SparkSetup &setup,
             SparkConfig cfg = SparkConfig{})
@@ -131,6 +138,18 @@ makeCluster(const ClassCatalog &cat, SparkSetup &setup,
         std::make_unique<SparkCluster>(cat, setup.get(), cfg);
     if (setup.skywayFactory)
         setup.skywayFactory->bind(*cluster);
+    if (setup.skywayFactory) {
+        // The two Skyway columns are an explicit A/B over the wire
+        // encoding, so both pin their mode rather than inheriting the
+        // SKYWAY_WIRE_COMPACT env knob — a global `force` must not
+        // silently turn the raw column into a second compact one.
+        WireCompactMode mode = setup.name == "skyway-c"
+                                   ? WireCompactMode::Auto
+                                   : WireCompactMode::Off;
+        cluster->driver().skyway().setWireCompactMode(mode);
+        for (int w = 0; w < cluster->numWorkers(); ++w)
+            cluster->worker(w).skyway().setWireCompactMode(mode);
+    }
     return cluster;
 }
 

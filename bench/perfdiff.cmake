@@ -5,7 +5,11 @@
 #         -DDIFF=tools/perf_diff.py -DPYTHON=... [-DKEYS=REGEX]
 #         -P perfdiff.cmake
 # KEYS overrides perf_diff.py's default key allowlist for benches
-# whose deterministic counters live under other names.
+# whose deterministic counters live under other names. SETENV (a
+# semicolon-separated VAR=val list) pins the bench's environment —
+# used to fix knobs the committed baseline was captured under, so the
+# diff stays apples-to-apples when the ambient environment differs
+# (e.g. the forced-compaction gate in tools/check_all.sh).
 
 foreach(var BENCH OUT BASELINE DIFF PYTHON)
     if(NOT DEFINED ${var})
@@ -18,8 +22,14 @@ if(DEFINED KEYS)
     list(APPEND diff_opts "--keys=${KEYS}")
 endif()
 
+if(DEFINED SETENV)
+    set(launcher ${CMAKE_COMMAND} -E env ${SETENV})
+else()
+    set(launcher "")
+endif()
+
 execute_process(
-    COMMAND ${BENCH} ${ARGS} --json=${OUT}
+    COMMAND ${launcher} ${BENCH} ${ARGS} --json=${OUT}
     RESULT_VARIABLE bench_rc
     OUTPUT_QUIET)
 if(NOT bench_rc EQUAL 0)

@@ -1,15 +1,24 @@
 # Driver for the bench-smoke CTest targets: run one bench binary with
 # --json=OUT (plus any extra ARGS), then validate the emitted document
 # with json_check. Invoked as
-#   cmake -DBENCH=... -DOUT=... -DCHECK=... [-DARGS=...] -P smoke.cmake
-# ARGS is a semicolon-separated list (e.g. "--scale=0.02").
+#   cmake -DBENCH=... -DOUT=... -DCHECK=... [-DARGS=...] [-DSETENV=...]
+#       -P smoke.cmake
+# ARGS and SETENV are semicolon-separated lists (e.g. "--scale=0.02",
+# "SKYWAY_WIRE_COMPACT=force;SKYWAY_WIRE_CHECK=1"); SETENV entries are
+# exported into the bench's environment only.
 
 if(NOT DEFINED BENCH OR NOT DEFINED OUT OR NOT DEFINED CHECK)
     message(FATAL_ERROR "smoke.cmake: BENCH, OUT, and CHECK required")
 endif()
 
+if(DEFINED SETENV)
+    set(launcher ${CMAKE_COMMAND} -E env ${SETENV})
+else()
+    set(launcher "")
+endif()
+
 execute_process(
-    COMMAND ${BENCH} ${ARGS} --json=${OUT}
+    COMMAND ${launcher} ${BENCH} ${ARGS} --json=${OUT}
     RESULT_VARIABLE bench_rc
     OUTPUT_QUIET)
 if(NOT bench_rc EQUAL 0)

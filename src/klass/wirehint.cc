@@ -1,0 +1,57 @@
+#include "klass/wirehint.hh"
+
+#include "klass/klass.hh"
+
+namespace skyway
+{
+
+namespace
+{
+
+std::size_t
+varintLen(std::uint64_t v)
+{
+    std::size_t n = 1;
+    while (v >= 0x80) {
+        v >>= 7;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+int
+compactSavingPercentEstimate(const Klass *k, const ObjectFormat &wire_fmt)
+{
+    std::ptrdiff_t delta =
+        static_cast<std::ptrdiff_t>(k->format().headerBytes()) -
+        static_cast<std::ptrdiff_t>(wire_fmt.headerBytes());
+    // Item tag + ~2-byte tid varint + 1-byte mark (a transfer mark is
+    // usually 0: only a computed hash survives resetForTransfer).
+    std::size_t overhead = 1 + 2 + 1;
+    std::size_t raw;
+    std::size_t compact;
+    if (!k->isArray()) {
+        raw = static_cast<std::size_t>(
+            static_cast<std::ptrdiff_t>(k->instanceBytes()) - delta);
+        compact = overhead;
+        for (const FieldDesc &f : k->fields())
+            compact += f.type == FieldType::Ref ? 2 : fieldSize(f.type);
+    } else {
+        // Arrays size with their length; estimate at 16 elements and
+        // let the send path's measured feedback correct for real
+        // workloads (large primitive arrays converge to ~0% unless
+        // zero-run RLE bites, and demotion then flips them to raw).
+        constexpr std::size_t n = 16;
+        raw = wordAlign(wire_fmt.arrayHeaderBytes() + n * k->elemSize());
+        compact = overhead + varintLen(n) +
+                  n * (k->elemType() == FieldType::Ref ? 3
+                                                       : k->elemSize());
+    }
+    if (compact >= raw)
+        return 0;
+    return static_cast<int>(100 * (raw - compact) / raw);
+}
+
+} // namespace skyway

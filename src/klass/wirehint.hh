@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Layout-derived compact-encoding estimate (docs/WIRE_FORMAT.md).
+ *
+ * Pure arithmetic over a class's field layout: how many of a raw
+ * Skyway wire record's bytes are header, alignment padding, and
+ * 8-byte reference slots that the compact encoding strips or
+ * varint-narrows. Lives in the klass layer so the type registry can
+ * compute and propagate the hint (with LOOKUP replies) without
+ * depending on the skyway send path; the encoder's decision policy
+ * (skyway/wirecompact.hh) consumes the same number.
+ */
+
+#ifndef SKYWAY_KLASS_WIREHINT_HH
+#define SKYWAY_KLASS_WIREHINT_HH
+
+#include "klass/objectformat.hh"
+
+namespace skyway
+{
+
+class Klass;
+
+/**
+ * Estimated saving of the compact encoding for @p k, as a percent of
+ * its raw record bytes on a @p wire_fmt wire (0–100). Instances are
+ * exact up to the varint-width guesses (2-byte tid, 1-byte mark,
+ * 2-byte reference slots); arrays are estimated at 16 elements — the
+ * send path's measured feedback corrects for real array sizes.
+ */
+int compactSavingPercentEstimate(const Klass *k,
+                                 const ObjectFormat &wire_fmt);
+
+} // namespace skyway
+
+#endif // SKYWAY_KLASS_WIREHINT_HH

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "skyway/baddr.hh"
+#include "skyway/wirecompact.hh"
 #include "support/logging.hh"
 
 namespace skyway
@@ -67,6 +68,12 @@ corruptionKindName(CorruptionKind kind)
         return "bogus-marker";
     case CorruptionKind::HeaderBitFlip:
         return "header-bit-flip";
+    case CorruptionKind::CompactTruncation:
+        return "compact-truncation";
+    case CorruptionKind::CompactBadTag:
+        return "compact-bad-tag";
+    case CorruptionKind::CompactForgedTypeId:
+        return "compact-forged-type-id";
     }
     return "?";
 }
@@ -79,6 +86,17 @@ allCorruptionKinds()
         CorruptionKind::Truncation,      CorruptionKind::DuplicatedTopMark,
         CorruptionKind::ClobberedMark,   CorruptionKind::StaleBaddr,
         CorruptionKind::BogusMarker,     CorruptionKind::HeaderBitFlip,
+    };
+    return kinds;
+}
+
+const std::vector<CorruptionKind> &
+compactCorruptionKinds()
+{
+    static const std::vector<CorruptionKind> kinds = {
+        CorruptionKind::CompactTruncation,
+        CorruptionKind::CompactBadTag,
+        CorruptionKind::CompactForgedTypeId,
     };
     return kinds;
 }
@@ -199,6 +217,53 @@ injectCorruption(const WireIndex &index, const WireCheckConfig &cfg,
         }
         break;
     }
+    case CorruptionKind::CompactTruncation: {
+        // Cut the stream at or after a compact item: the enclosing
+        // segment's declared payload length now overruns the bytes
+        // that remain (or the preamble itself is gone).
+        std::uint64_t off =
+            pick(index.compactItemOffsets, rng, "compact items");
+        std::uint64_t cut =
+            off + rng.nextBounded(stream.size() - off);
+        stream.resize(static_cast<std::size_t>(cut));
+        break;
+    }
+    case CorruptionKind::CompactBadTag: {
+        // A tag byte no encoder emits (valid tags are 0x01..0x07).
+        std::uint64_t off =
+            pick(index.compactItemOffsets, rng, "compact items");
+        stream[static_cast<std::size_t>(off)] = static_cast<std::uint8_t>(
+            0x10 + rng.nextBounded(0xe0));
+        break;
+    }
+    case CorruptionKind::CompactForgedTypeId: {
+        // Splice a 5-byte varint of an id no registry ever assigned
+        // over the tid varint of a compact record item. The scan
+        // stops at the forged item, so the byte-count change behind
+        // it never matters.
+        std::vector<std::uint64_t> sites;
+        for (std::uint64_t off : index.compactItemOffsets) {
+            std::uint8_t tag = stream[static_cast<std::size_t>(off)];
+            if (tag >= wire::ctInstance && tag <= wire::ctPrimArrayRle)
+                sites.push_back(off);
+        }
+        std::uint64_t off = pick(sites, rng, "compact records");
+        std::size_t tid_at = static_cast<std::size_t>(off) + 1;
+        std::size_t tid_len = 1;
+        while (stream[tid_at + tid_len - 1] & 0x80)
+            ++tid_len;
+        std::vector<std::uint8_t> forged;
+        wire::putVarU64(forged,
+                        0x7f000000ull + rng.nextBounded(1u << 20));
+        stream.erase(stream.begin() +
+                         static_cast<std::ptrdiff_t>(tid_at),
+                     stream.begin() +
+                         static_cast<std::ptrdiff_t>(tid_at + tid_len));
+        stream.insert(stream.begin() +
+                          static_cast<std::ptrdiff_t>(tid_at),
+                      forged.begin(), forged.end());
+        break;
+    }
     }
     return stream;
 }
@@ -221,6 +286,10 @@ expectedFaults(CorruptionKind kind)
     static const std::vector<WireFault> flip = {
         WireFault::BadMarkWord, WireFault::UnresolvableTypeId,
         WireFault::BadBaddrWord};
+    static const std::vector<WireFault> compactCut = {
+        WireFault::TruncatedRecord, WireFault::BadCompactItem};
+    static const std::vector<WireFault> compactItem = {
+        WireFault::BadCompactItem};
     switch (kind) {
     case CorruptionKind::ForgedTypeId:
         return forged;
@@ -238,6 +307,12 @@ expectedFaults(CorruptionKind kind)
         return markerw;
     case CorruptionKind::HeaderBitFlip:
         return flip;
+    case CorruptionKind::CompactTruncation:
+        return compactCut;
+    case CorruptionKind::CompactBadTag:
+        return compactItem;
+    case CorruptionKind::CompactForgedTypeId:
+        return forged;
     }
     return flip;
 }

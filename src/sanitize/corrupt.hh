@@ -45,12 +45,25 @@ enum class CorruptionKind
     BogusMarker,
     /** One random bit flipped in a header word. */
     HeaderBitFlip,
+    /** Stream cut inside a compact segment (docs/WIRE_FORMAT.md). */
+    CompactTruncation,
+    /** A compact item tag rewritten to a code no encoder emits. */
+    CompactBadTag,
+    /** A compact record's type-id varint forged past the registry. */
+    CompactForgedTypeId,
 };
 
 const char *corruptionKindName(CorruptionKind kind);
 
-/** Every kind, for parameterized tests. */
+/**
+ * Every raw-stream kind, for parameterized tests. The Compact* kinds
+ * are excluded: they only have sites in streams that contain compact
+ * segments, and injectCorruption panics on a siteless kind.
+ */
 const std::vector<CorruptionKind> &allCorruptionKinds();
+
+/** The kinds whose sites are compact segments (SKYWAY_WIRE_COMPACT). */
+const std::vector<CorruptionKind> &compactCorruptionKinds();
 
 /**
  * Validate @p stream (panics if it is not clean — the harness only

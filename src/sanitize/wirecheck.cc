@@ -5,6 +5,7 @@
 
 #include "klass/klass.hh"
 #include "skyway/baddr.hh"
+#include "skyway/wirecompact.hh"
 #include "support/logging.hh"
 #include "typereg/registry.hh"
 
@@ -28,6 +29,66 @@ wordAt(const std::uint8_t *p)
  *  would overflow the 40-bit relative address space by itself). */
 constexpr std::uint64_t maxPlausibleArrayLength = 1ull << 40;
 
+/**
+ * Bounds-checked compact-payload reader. Unlike the receiver
+ * expander's cursor this one never panics: any overrun or truncated
+ * varint sets fail and the scanner turns it into a diagnostic.
+ */
+struct SafeCursor
+{
+    const std::uint8_t *p;
+    std::size_t len;
+    std::size_t off = 0;
+    bool fail = false;
+
+    bool
+    atEnd() const
+    {
+        return fail || off >= len;
+    }
+
+    bool
+    u8(std::uint8_t &out)
+    {
+        if (fail || off >= len) {
+            fail = true;
+            return false;
+        }
+        out = p[off++];
+        return true;
+    }
+
+    bool
+    varU64(std::uint64_t &out)
+    {
+        out = 0;
+        unsigned shift = 0;
+        while (true) {
+            if (fail || off >= len || shift >= 64) {
+                fail = true;
+                return false;
+            }
+            std::uint8_t b = p[off++];
+            out |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+            if (!(b & 0x80))
+                return true;
+            shift += 7;
+        }
+    }
+
+    const std::uint8_t *
+    bytes(std::size_t n)
+    {
+        if (fail || len - off < n) {
+            fail = true;
+            return nullptr;
+        }
+        const std::uint8_t *r = p + off;
+        off += n;
+        return r;
+    }
+};
+
 } // namespace
 
 const char *
@@ -50,6 +111,8 @@ wireFaultName(WireFault f)
         return "bad-baddr-word";
     case WireFault::BadRootRecord:
         return "bad-root-record";
+    case WireFault::BadCompactItem:
+        return "bad-compact-item";
     }
     return "?";
 }
@@ -223,6 +286,254 @@ WireValidator::scanRecord(const std::uint8_t *rec, std::size_t remaining,
     return size;
 }
 
+std::size_t
+WireValidator::scanCompactSegment(const std::uint8_t *data,
+                                  std::size_t remaining,
+                                  std::uint64_t phys_off)
+{
+    const ObjectFormat &wf = cfg_.wireFormat;
+
+    SafeCursor pre{data + wordSize, remaining - wordSize};
+    std::uint64_t payload_len = 0;
+    if (!pre.varU64(payload_len)) {
+        report(WireFault::BadCompactItem, phys_off,
+               "compact segment preamble truncated");
+        return 0;
+    }
+    std::size_t head = wordSize + pre.off;
+    if (payload_len > remaining - head) {
+        report(WireFault::TruncatedRecord, phys_off,
+               "compact segment payload (" +
+                   std::to_string(payload_len) +
+                   " bytes) overruns the segment");
+        return 0;
+    }
+
+    // The shared accounting below (recordStarts_, logical_, pending
+    // references, top-mark pairing) uses *expanded* record sizes, so
+    // raw and compact segments of one stream cross-check seamlessly.
+    SafeCursor cur{data + head, static_cast<std::size_t>(payload_len)};
+    auto itemFault = [&](std::uint64_t at, const std::string &what) {
+        report(WireFault::BadCompactItem, at, what);
+        return static_cast<std::size_t>(0);
+    };
+    while (!cur.atEnd()) {
+        std::uint64_t item_phys = phys_off + head + cur.off;
+        std::uint8_t tag = 0;
+        cur.u8(tag);
+        index_.compactItemOffsets.push_back(item_phys);
+
+        if (tag == wire::ctTopMark) {
+            if (awaitingTopRecord_)
+                report(WireFault::BadRootRecord, item_phys,
+                       "duplicated top mark: previous top mark at +" +
+                           std::to_string(awaitingTopOffset_) +
+                           " has no record");
+            awaitingTopRecord_ = true;
+            awaitingTopOffset_ = item_phys;
+            index_.topMarkOffsets.push_back(item_phys);
+            ++sum_.topMarks;
+            continue;
+        }
+        if (tag == wire::ctBackRef) {
+            std::uint64_t slot = 0;
+            if (!cur.varU64(slot))
+                return itemFault(item_phys,
+                                 "backward reference missing its "
+                                 "slot varint");
+            if (awaitingTopRecord_) {
+                report(WireFault::BadRootRecord, item_phys,
+                       "top mark at +" +
+                           std::to_string(awaitingTopOffset_) +
+                           " followed by a marker, not a record");
+                awaitingTopRecord_ = false;
+            }
+            if (slot != 0 && !isRecordStart(slot - 1))
+                report(WireFault::BadRootRecord, item_phys,
+                       "backward root reference " +
+                           std::to_string(slot - 1) +
+                           " is not a decoded object start");
+            index_.backRefOffsets.push_back(item_phys);
+            ++sum_.backRefs;
+            continue;
+        }
+
+        std::size_t size = 0;
+        bool is_array = false;
+        if (tag == wire::ctRawRecord) {
+            std::uint64_t raw_len = 0;
+            if (!cur.varU64(raw_len))
+                return itemFault(item_phys,
+                                 "raw item missing its length varint");
+            std::uint64_t rec_phys = phys_off + head + cur.off;
+            const std::uint8_t *rec =
+                cur.bytes(static_cast<std::size_t>(raw_len));
+            if (!rec)
+                return itemFault(item_phys,
+                                 "raw item overruns the compact "
+                                 "payload");
+            size = scanRecord(rec, static_cast<std::size_t>(raw_len),
+                              rec_phys);
+            if (size == 0)
+                return 0;
+            if (size != raw_len)
+                return itemFault(
+                    item_phys, "raw item length " +
+                                   std::to_string(raw_len) +
+                                   " does not match the record size " +
+                                   std::to_string(size));
+            // scanRecord indexed the record and queued its slots.
+            is_array = index_.records.back().isArray;
+        } else if (tag == wire::ctInstance ||
+                   tag == wire::ctPrimArray ||
+                   tag == wire::ctRefArray ||
+                   tag == wire::ctPrimArrayRle) {
+            std::uint64_t tid = 0, m = 0;
+            if (!cur.varU64(tid) || !cur.varU64(m))
+                return itemFault(item_phys,
+                                 "compact record header truncated");
+            if (tid > 0x7fffffffull) {
+                report(WireFault::UnresolvableTypeId, item_phys,
+                       "compact type id " + std::to_string(tid) +
+                           " is not a type id");
+                return 0;
+            }
+            Klass *k = resolveTid(static_cast<std::int32_t>(tid));
+            if (!k) {
+                report(WireFault::UnresolvableTypeId, item_phys,
+                       "compact type id " + std::to_string(tid) +
+                           " is not in the registry");
+                return 0;
+            }
+            if ((m & ~(mark::hashMask | mark::hashComputedBit)) != 0)
+                report(WireFault::BadMarkWord, item_phys,
+                       "compact mark carries non-transfer bits");
+            else if (!mark::hasHash(m) && (m & mark::hashMask) != 0)
+                report(WireFault::BadMarkWord, item_phys,
+                       "hash bits present without the hash-computed "
+                       "flag");
+
+            if (tag == wire::ctInstance) {
+                if (k->isArray())
+                    return itemFault(item_phys,
+                                     "instance tag with array class " +
+                                         k->name());
+                std::ptrdiff_t delta =
+                    static_cast<std::ptrdiff_t>(
+                        k->format().headerBytes()) -
+                    static_cast<std::ptrdiff_t>(wf.headerBytes());
+                size = static_cast<std::size_t>(
+                    static_cast<std::ptrdiff_t>(k->instanceBytes()) -
+                    delta);
+                for (const FieldDesc &f : k->fields()) {
+                    if (f.type == FieldType::Ref) {
+                        std::uint64_t slot_phys =
+                            phys_off + head + cur.off;
+                        std::uint64_t slot = 0;
+                        if (!cur.varU64(slot))
+                            return itemFault(
+                                item_phys,
+                                k->name() +
+                                    " instance item truncated");
+                        if (slot != 0) {
+                            pendingRefs_.push_back(
+                                PendingRef{slot - 1, slot_phys});
+                            index_.refSlotOffsets.push_back(slot_phys);
+                            ++sum_.refSlots;
+                        }
+                    } else if (!cur.bytes(fieldSize(f.type))) {
+                        return itemFault(item_phys,
+                                         k->name() +
+                                             " instance item "
+                                             "truncated");
+                    }
+                }
+            } else {
+                is_array = true;
+                std::uint64_t n = 0;
+                if (!cur.varU64(n))
+                    return itemFault(item_phys,
+                                     "compact array missing its "
+                                     "length varint");
+                if (n > maxPlausibleArrayLength) {
+                    report(WireFault::MisalignedRecord, item_phys,
+                           "implausible array length " +
+                               std::to_string(n) + " for " +
+                               k->name());
+                    return 0;
+                }
+                if (!k->isArray())
+                    return itemFault(item_phys,
+                                     "array tag with non-array "
+                                     "class " +
+                                         k->name());
+                bool is_ref = k->elemType() == FieldType::Ref;
+                if ((tag == wire::ctRefArray) != is_ref)
+                    return itemFault(item_phys,
+                                     "array tag does not match " +
+                                         k->name() +
+                                         "'s element type");
+                size = wordAlign(wf.arrayHeaderBytes() +
+                                 static_cast<std::size_t>(n) *
+                                     k->elemSize());
+                if (tag == wire::ctRefArray) {
+                    for (std::uint64_t i = 0; i < n; ++i) {
+                        std::uint64_t slot_phys =
+                            phys_off + head + cur.off;
+                        std::uint64_t slot = 0;
+                        if (!cur.varU64(slot))
+                            return itemFault(item_phys,
+                                             "reference array item "
+                                             "truncated");
+                        if (slot != 0) {
+                            pendingRefs_.push_back(
+                                PendingRef{slot - 1, slot_phys});
+                            index_.refSlotOffsets.push_back(slot_phys);
+                            ++sum_.refSlots;
+                        }
+                    }
+                } else if (tag == wire::ctPrimArray) {
+                    if (!cur.bytes(static_cast<std::size_t>(n) *
+                                   k->elemSize()))
+                        return itemFault(item_phys,
+                                         "primitive array payload "
+                                         "overruns the compact "
+                                         "payload");
+                } else {
+                    std::size_t total =
+                        static_cast<std::size_t>(n) * k->elemSize();
+                    std::size_t got = 0;
+                    while (got < total) {
+                        std::uint64_t lit = 0, zeros = 0;
+                        if (!cur.varU64(lit) || got + lit > total ||
+                            !cur.bytes(static_cast<std::size_t>(lit)))
+                            return itemFault(item_phys,
+                                             "RLE literal run "
+                                             "overruns the array");
+                        got += static_cast<std::size_t>(lit);
+                        if (!cur.varU64(zeros) || got + zeros > total)
+                            return itemFault(item_phys,
+                                             "RLE zero run overruns "
+                                             "the array");
+                        got += static_cast<std::size_t>(zeros);
+                    }
+                }
+            }
+            index_.records.push_back(WireIndex::Record{
+                item_phys, logical_, size, is_array});
+        } else {
+            return itemFault(item_phys, "unknown compact item tag " +
+                                            std::to_string(tag));
+        }
+
+        recordStarts_.push_back(logical_);
+        awaitingTopRecord_ = false;
+        ++sum_.records;
+        logical_ += size;
+    }
+    return head + static_cast<std::size_t>(payload_len);
+}
+
 void
 WireValidator::feed(const std::uint8_t *data, std::size_t len)
 {
@@ -240,6 +551,14 @@ WireValidator::feed(const std::uint8_t *data, std::size_t len)
 
         Word first = wordAt(data + off);
         if (marker::isMarker(first)) {
+            if (first == marker::compactSeg) {
+                std::size_t used =
+                    scanCompactSegment(data + off, remaining, phys);
+                if (used == 0)
+                    break; // fatal: cannot re-synchronize
+                off += used;
+                continue;
+            }
             if (first == marker::topMark) {
                 if (awaitingTopRecord_)
                     report(WireFault::BadRootRecord, phys,

@@ -67,6 +67,12 @@ enum class WireFault
     BadBaddrWord,
     /** Top mark / backward reference does not delimit a root record. */
     BadRootRecord,
+    /**
+     * A compact segment (docs/WIRE_FORMAT.md) is malformed: unknown
+     * item tag, an item overrunning the declared payload, a length
+     * that disagrees with the klass layout, or a truncated varint.
+     */
+    BadCompactItem,
 };
 
 const char *wireFaultName(WireFault f);
@@ -124,6 +130,8 @@ struct WireIndex
     std::vector<std::uint64_t> backRefOffsets;
     /** Physical offsets of non-null reference slot words. */
     std::vector<std::uint64_t> refSlotOffsets;
+    /** Physical offsets of compact item tag bytes (one per item). */
+    std::vector<std::uint64_t> compactItemOffsets;
 };
 
 class WireValidator
@@ -174,6 +182,19 @@ class WireValidator
     std::size_t scanRecord(const std::uint8_t *rec,
                            std::size_t remaining,
                            std::uint64_t phys_off);
+
+    /**
+     * Scan one compact segment (marker + varint payload length +
+     * tagged items) at @p data, validating each item against the
+     * same invariants the raw scan enforces and accounting records
+     * at their *expanded* logical sizes, so references between raw
+     * and compact segments of one stream cross-check. Returns the
+     * consumed wire bytes, 0 on a fatal fault. Never panics — this
+     * is the veto the receiver's expander relies on.
+     */
+    std::size_t scanCompactSegment(const std::uint8_t *data,
+                                   std::size_t remaining,
+                                   std::uint64_t phys_off);
 
     TypeResolver &resolver_;
     WireCheckConfig cfg_;

@@ -82,6 +82,14 @@ constexpr Word topMark = reserved | 0x70AD;
  */
 constexpr Word backRef = reserved | 0xBACF;
 
+/**
+ * A compact-encoded segment follows (docs/WIRE_FORMAT.md): a varint
+ * payload length and then tagged compact items, re-expanded to full
+ * heap format by the receiver's linear scan. Never appears inside a
+ * raw record run — only at a segment boundary.
+ */
+constexpr Word compactSeg = reserved | 0xC0DE;
+
 constexpr bool
 isMarker(Word w)
 {

@@ -19,6 +19,7 @@
 #include "heap/heap.hh"
 #include "klass/klass.hh"
 #include "obs/span.hh"
+#include "skyway/wirecompact.hh"
 #include "support/thread_annotations.hh"
 #include "typereg/registry.hh"
 
@@ -103,6 +104,8 @@ class SkywayContext
         debug_.validateWire = std::getenv("SKYWAY_WIRE_CHECK") != nullptr;
         debug_.checkReceivedGraph =
             std::getenv("SKYWAY_GRAPH_CHECK") != nullptr;
+        wireCompact_.store(wireCompactModeFromEnv(),
+                           std::memory_order_relaxed);
     }
 
     ManagedHeap &heap() { return heap_; }
@@ -209,6 +212,45 @@ class SkywayContext
     DebugFlags &debug() { return debug_; }
     const DebugFlags &debug() const { return debug_; }
 
+    /**
+     * Send-path compaction mode (docs/WIRE_FORMAT.md). Initialized
+     * from `SKYWAY_WIRE_COMPACT` (off|auto|force, default off);
+     * readable from concurrent sender threads. Streams sample the
+     * mode at construction, so a change applies to streams opened
+     * afterwards.
+     */
+    WireCompactMode wireCompactMode() const
+    {
+        return wireCompact_.load(std::memory_order_relaxed);
+    }
+
+    void
+    setWireCompactMode(WireCompactMode m)
+    {
+        wireCompact_.store(m, std::memory_order_relaxed);
+        // Decisions embed the old mode's threshold; start afresh.
+        wireEncodings_.reset();
+    }
+
+    /**
+     * The link cost driving the adaptive policy, in wall-ns per wire
+     * byte (Jvm sets it from the cluster's NetworkCostModel; default
+     * is gigabit-Ethernet cost). See wire::WirePolicy.
+     */
+    double wireNsPerByte() const
+    {
+        return wireNsPerByte_.load(std::memory_order_relaxed);
+    }
+
+    void
+    setWireNsPerByte(double v)
+    {
+        wireNsPerByte_.store(v, std::memory_order_relaxed);
+    }
+
+    /** Shared per-class encoding decisions (see WireEncodingCache). */
+    WireEncodingCache &wireEncodings() { return wireEncodings_; }
+
   private:
     ManagedHeap &heap_;
     KlassTable &klasses_;
@@ -220,6 +262,9 @@ class SkywayContext
      *  with a receive is not supported (docs/STATIC_ANALYSIS.md). */
     FieldUpdateRegistry updates_;
     DebugFlags debug_;
+    std::atomic<WireCompactMode> wireCompact_{WireCompactMode::Off};
+    std::atomic<double> wireNsPerByte_{8.0};
+    WireEncodingCache wireEncodings_;
     Mutex tidMutex_;
     Mutex streamIdMutex_;
     Mutex phaseMutex_;

@@ -9,6 +9,8 @@
 #include "obs/span.hh"
 #include "sanitize/wirecheck.hh"
 #include "skyway/baddr.hh"
+#include "skyway/wirecompact.hh"
+#include "support/stopwatch.hh"
 
 namespace skyway
 {
@@ -26,6 +28,8 @@ struct ReceiverMetrics
     obs::Counter &refsAbsolutized;
     obs::Counter &fieldUpdatesApplied;
     obs::Counter &zeroCopyBytes;
+    obs::Counter &expandedBytes;
+    obs::Counter &expandNs;
 
     static ReceiverMetrics &
     get()
@@ -39,6 +43,8 @@ struct ReceiverMetrics
             r.counter("skyway.receiver.refs_absolutized"),
             r.counter("skyway.receiver.field_updates_applied"),
             r.counter("skyway.receiver.zero_copy_bytes"),
+            r.counter("skyway.receiver.expanded_bytes"),
+            r.counter("skyway.receiver.expand_ns"),
         };
         return m;
     }
@@ -101,7 +107,10 @@ InputBuffer::recordSize(const std::uint8_t *rec, Klass *k) const
 void
 InputBuffer::newChunk(std::size_t at_least)
 {
-    std::size_t cap = std::max(chunkBytes_, at_least);
+    // Compact wire segments have arbitrary byte lengths; round the
+    // capacity up so the finalize-time tail filler (and the heap
+    // allocator) always see word-aligned extents.
+    std::size_t cap = wordAlign(std::max(chunkBytes_, at_least));
     if (at_least > chunkBytes_)
         ++stats_.oversizedChunks;
     // Tenured allocation: input buffers live in the old generation.
@@ -132,6 +141,9 @@ InputBuffer::publishMetrics()
                               published_.fieldUpdatesApplied);
     m.zeroCopyBytes.add(stats_.zeroCopyBytes -
                         published_.zeroCopyBytes);
+    m.expandedBytes.add(stats_.expandedBytes -
+                        published_.expandedBytes);
+    m.expandNs.add(stats_.expandNs - published_.expandNs);
     published_ = stats_;
 }
 
@@ -177,6 +189,24 @@ InputBuffer::commitReserved(std::size_t len, bool zero_copy,
         panicIf(!validator_->ok(),
                 "SkywaySan: receiver wire validation failed: " +
                     validator_->firstFault());
+    }
+
+    if (len >= wordSize && wire::isCompactSegment(reserved_, len)) {
+        // The expander writes full-format records through the regular
+        // chunk machinery — into the very region this reservation
+        // covers — so the compact wire bytes are staged out first and
+        // the reservation is abandoned without advancing the fill.
+        // These bytes are *not* zero-copy: the wire representation is
+        // not the chunk representation (stats_.expandedBytes holds
+        // what the segment produced).
+        scratch_.assign(reserved_, reserved_ + len);
+        reserved_ = nullptr;
+        reservedLen_ = 0;
+        std::size_t used = expandSegment(scratch_.data(),
+                                         scratch_.size());
+        panicIf(used != scratch_.size(),
+                "InputBuffer: trailing bytes after a compact segment");
+        return;
     }
 
     std::size_t off = 0;
@@ -255,6 +285,8 @@ InputBuffer::itemSize(const std::uint8_t *data, std::size_t len)
                     "InputBuffer: truncated marker");
             return 2 * wordSize;
         }
+        if (first == marker::compactSeg)
+            return 0; // expandSegment's job, not a batchable item
         panic("InputBuffer: unknown marker word");
     }
     Word tid_word;
@@ -272,7 +304,7 @@ InputBuffer::scanBatch(const std::uint8_t *data, std::size_t len,
     std::size_t off = 0;
     while (off < len) {
         std::size_t size = itemSize(data + off, len - off);
-        if (off + size > limit)
+        if (size == 0 || off + size > limit)
             break;
         off += size;
     }
@@ -297,6 +329,17 @@ InputBuffer::feed(const std::uint8_t *data, std::size_t len)
     // this copy entirely.
     std::size_t off = 0;
     while (off < len) {
+        Word lead;
+        if (len - off >= wordSize) {
+            std::memcpy(&lead, data + off, wordSize);
+            if (lead == marker::compactSeg) {
+                // Byte-owning caller: no aliasing with chunk storage,
+                // expand straight from the caller's buffer. A file
+                // stream may concatenate further segments after it.
+                off += expandSegment(data + off, len - off);
+                continue;
+            }
+        }
         std::size_t avail = chunks_.empty()
                                 ? chunkBytes_
                                 : chunks_.back().cap -
@@ -317,6 +360,49 @@ InputBuffer::feed(const std::uint8_t *data, std::size_t len)
                        /*already_validated=*/true);
         off += batch;
     }
+}
+
+std::size_t
+InputBuffer::expandSegment(const std::uint8_t *data, std::size_t len)
+{
+    SKYWAY_SPAN("receiver.expand");
+    Stopwatch sw;
+    wire::ExpandHooks hooks;
+    hooks.klassFor = [this](std::int32_t tid) {
+        return klassForTid(tid);
+    };
+    hooks.onMarker = [this](bool is_back_ref, Word slot) {
+        // Same bookkeeping the raw parser does for marker words,
+        // minus the filler: compact markers never occupied chunk
+        // space in the first place.
+        if (is_back_ref)
+            pendingRoots_.push_back(RootSpec{true, slot});
+        else
+            pendingRoots_.push_back(RootSpec{false, logical_});
+    };
+    hooks.place = [this](std::size_t size) -> std::uint8_t * {
+        if (chunks_.empty() ||
+            chunks_.back().fill + size > chunks_.back().cap)
+            newChunk(size);
+        Chunk &c = chunks_.back();
+        Address pa = c.base + c.fill;
+        if (!runs_.empty() &&
+            runs_.back().base + runs_.back().bytes == pa &&
+            runs_.back().firstLogical + runs_.back().bytes == logical_)
+            runs_.back().bytes += size;
+        else
+            runs_.push_back(Run{logical_, pa, size});
+        c.fill += size;
+        logical_ += size;
+        ++stats_.objectsReceived;
+        stats_.bytesReceived += size;
+        stats_.expandedBytes += size;
+        return reinterpret_cast<std::uint8_t *>(pa);
+    };
+    std::size_t used =
+        wire::expandCompactSegment(data, len, fmt_, hooks);
+    stats_.expandNs += sw.elapsedNs();
+    return used;
 }
 
 Address

@@ -67,8 +67,19 @@ struct SkywayReceiveStats
     std::uint64_t oversizedChunks = 0;
     std::uint64_t refsAbsolutized = 0;
     std::uint64_t fieldUpdatesApplied = 0;
-    /** Segment bytes the transport wrote directly into chunk storage. */
+    /**
+     * Segment bytes the transport wrote directly into chunk storage
+     * *and* parsed in place. Compact segments (docs/WIRE_FORMAT.md)
+     * are excluded even on the reserveChunk path: their wire bytes
+     * are staged out and re-expanded, so the zero-copy invariant
+     * (wire bytes == chunk bytes) does not hold for them — see
+     * expandedBytes for what they produced.
+     */
     std::uint64_t zeroCopyBytes = 0;
+    /** Full-format bytes produced by re-expanding compact segments. */
+    std::uint64_t expandedBytes = 0;
+    /** Wall time spent in the compact-segment expander. */
+    std::uint64_t expandNs = 0;
 };
 
 class InputBuffer
@@ -188,8 +199,22 @@ class InputBuffer
     std::size_t scanBatch(const std::uint8_t *data, std::size_t len,
                           std::size_t limit);
 
-    /** Size of the single item (marker or record) at @p data. */
+    /**
+     * Size of the single item (marker or record) at @p data; 0 when
+     * the item is a compact-segment marker (the caller must hand the
+     * stream to expandSegment instead of batching further).
+     */
     std::size_t itemSize(const std::uint8_t *data, std::size_t len);
+
+    /**
+     * Re-expand the compact segment at @p data (marker + varint
+     * length + items) into full heap-format records placed through
+     * the regular chunk/run machinery; returns the consumed wire
+     * bytes. The caller owns @p data — it must not alias chunk
+     * storage (the commit path stages the bytes out first).
+     */
+    std::size_t expandSegment(const std::uint8_t *data,
+                              std::size_t len);
 
     void absolutizeChunk(Chunk &c);
 
@@ -241,6 +266,9 @@ class InputBuffer
     std::vector<RootSpec> pendingRoots_;
 
     std::vector<Address> roots_;
+    /** Staging for compact wire bytes whose expansion overwrites the
+     *  chunk region they arrived in (reused across segments). */
+    std::vector<std::uint8_t> scratch_;
     /** Dense tid -> klass cache (global ids are small and dense). */
     mutable std::vector<Klass *> tidCache_;
     SkywayReceiveStats stats_;

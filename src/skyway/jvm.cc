@@ -28,6 +28,12 @@ Jvm::Jvm(const ClassCatalog &catalog, ClusterNetwork &net, NodeId id,
                                                        klasses_);
     skyway_ = std::make_unique<SkywayContext>(heap_, klasses_,
                                               resolver());
+    // The compact-encoding policy prices CPU against wire time; feed
+    // it this cluster's actual link cost so Auto mode compacts on
+    // slow links and passes through on fast ones (WirePolicy).
+    if (net.model().bandwidthBytesPerSec > 0)
+        skyway_->setWireNsPerByte(1.0e9 /
+                                  net.model().bandwidthBytesPerSec);
 }
 
 TypeResolver &

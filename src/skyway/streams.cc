@@ -1,5 +1,7 @@
 #include "skyway/streams.hh"
 
+#include "skyway/wirecompact.hh"
+
 namespace skyway
 {
 
@@ -36,8 +38,17 @@ SkywayObjectOutputStream::SkywayObjectOutputStream(
     std::size_t buffer_bytes, std::optional<ObjectFormat> target_format)
     : validator_(makeWireValidator(
           ctx, target_format.value_or(ctx.heap().format()))),
+      // Stage order matters: the validator tees off the *raw* flushed
+      // segment (the semantic stream), then the compaction stage may
+      // rewrite what actually hits the sink. The receiver's validator
+      // sees the compact wire bytes, so both encodings get checked.
       buffer_(buffer_bytes,
-              teeIntoValidator(std::move(sink), validator_.get())),
+              teeIntoValidator(
+                  compactStage(ctx,
+                               target_format.value_or(
+                                   ctx.heap().format()),
+                               std::move(sink)),
+                  validator_.get())),
       sender_(ctx, buffer_,
               target_format.value_or(ctx.heap().format()))
 {
@@ -174,13 +185,18 @@ SkywaySerializer::bindSink(ByteSink &out)
         endStream(*curSink_);
     ByteSink *sink = &out;
     wireValidator_ = makeWireValidator(ctx_, ctx_.heap().format());
+    // One u32 frame per flushed segment; compaction (when on) rewrites
+    // the segment before framing, and the validator audits the raw
+    // bytes ahead of both.
     outBuf_ = std::make_unique<OutputBuffer>(
         bufferBytes_,
         teeIntoValidator(
-            [sink](const std::uint8_t *data, std::size_t len) {
-                sink->writeU32(static_cast<std::uint32_t>(len));
-                sink->write(data, len);
-            },
+            compactStage(
+                ctx_, ctx_.heap().format(),
+                [sink](const std::uint8_t *data, std::size_t len) {
+                    sink->writeU32(static_cast<std::uint32_t>(len));
+                    sink->write(data, len);
+                }),
             wireValidator_.get()));
     sender_ = std::make_unique<SkywaySender>(ctx_, *outBuf_,
                                              ctx_.heap().format());

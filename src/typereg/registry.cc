@@ -1,9 +1,28 @@
 #include "typereg/registry.hh"
 
+#include "klass/wirehint.hh"
 #include "support/bytebuffer.hh"
 
 namespace skyway
 {
+
+namespace
+{
+
+/** Hint wire form: 0–100 = saving percent, 255 = no hint cached. */
+std::uint8_t
+hintByte(int h)
+{
+    return (h >= 0 && h <= 100) ? static_cast<std::uint8_t>(h) : 255;
+}
+
+int
+hintFromByte(std::uint8_t b)
+{
+    return b <= 100 ? static_cast<int>(b) : -1;
+}
+
+} // namespace
 
 TypeRegistryDriver::TypeRegistryDriver(ClusterNetwork &net, NodeId node,
                                        KlassTable &klasses)
@@ -74,14 +93,41 @@ TypeRegistryDriver::tryKlassForId(std::int32_t id)
     return klassForId(id);
 }
 
+int
+TypeRegistryDriver::encodingHint(std::int32_t id)
+{
+    {
+        MutexLock lock(mutex_);
+        auto it = hints_.find(id);
+        if (it != hints_.end())
+            return it->second;
+        if (id < 0 || static_cast<std::size_t>(id) >= names_.size())
+            return -1;
+    }
+    // Compute from the class layout: a local load plus arithmetic,
+    // outside mutex_ (the load hook re-enters idForClass), never a
+    // network round trip — the driver is the registry.
+    Klass *k = klassForId(id);
+    int h = compactSavingPercentEstimate(k, k->format());
+    MutexLock lock(mutex_);
+    hints_[id] = h;
+    return h;
+}
+
 std::vector<std::uint8_t>
 TypeRegistryDriver::encodeView() const
 {
     MutexLock lock(mutex_);
     VectorSink sink;
     sink.writeVarU64(names_.size());
-    for (std::size_t id = 0; id < names_.size(); ++id)
+    for (std::size_t id = 0; id < names_.size(); ++id) {
         sink.writeString(names_[id]);
+        // Hints the driver happens to have cached ride along; the
+        // rest stay "unknown" (a view pull must not force-load every
+        // registered class on the driver).
+        auto it = hints_.find(static_cast<std::int32_t>(id));
+        sink.writeU8(hintByte(it == hints_.end() ? -1 : it->second));
+    }
     return sink.takeBytes();
 }
 
@@ -112,23 +158,33 @@ TypeRegistryDriver::handle(NodeId, int tag,
         std::int32_t id = idForClass(name);
         VectorSink sink;
         sink.writeI32(id);
+        // The per-class encoding hint rides every LOOKUP reply, so a
+        // worker that registers a class also learns its compaction
+        // estimate in the same round trip.
+        sink.writeU8(hintByte(encodingHint(id)));
         return sink.takeBytes();
     }
     if (tag == regmsg::lookupName) {
         ByteSource src(payload);
         std::int32_t id = src.readI32();
-        VectorSink sink;
         // An unknown id gets an empty-name reply instead of a driver
         // panic: a worker probing a forged id from a corrupt stream
         // (the SkywaySan validator) must not crash the driver.
-        MutexLock lock(mutex_);
-        ++stats_.reverseLookupsServed;
-        if (id >= 0 && static_cast<std::size_t>(id) < names_.size()) {
-            sink.writeString(names_[id]);
-            ++stats_.classStringsSent;
-        } else {
-            sink.writeString("");
+        std::string name;
+        {
+            MutexLock lock(mutex_);
+            ++stats_.reverseLookupsServed;
+            if (id >= 0 &&
+                static_cast<std::size_t>(id) < names_.size()) {
+                name = names_[id];
+                ++stats_.classStringsSent;
+            }
         }
+        // Hint computation loads the class — outside mutex_.
+        int hint = name.empty() ? -1 : encodingHint(id);
+        VectorSink sink;
+        sink.writeString(name);
+        sink.writeU8(hintByte(hint));
         return sink.takeBytes();
     }
     panic("TypeRegistryDriver: unknown message tag " +
@@ -145,8 +201,11 @@ TypeRegistryWorker::TypeRegistryWorker(ClusterNetwork &net, NodeId node,
         net_.request(node_, driver_, regmsg::requestView, {});
     ByteSource src(reply);
     std::size_t n = src.readVarU64();
-    for (std::size_t id = 0; id < n; ++id)
-        insertView(src.readString(), static_cast<std::int32_t>(id));
+    for (std::size_t id = 0; id < n; ++id) {
+        std::string name = src.readString();
+        int hint = hintFromByte(src.readU8());
+        insertView(name, static_cast<std::int32_t>(id), hint);
+    }
 
     // Number classes this worker already loaded before attaching.
     for (Klass *k : klasses_.loadedKlasses()) {
@@ -164,13 +223,24 @@ TypeRegistryWorker::TypeRegistryWorker(ClusterNetwork &net, NodeId node,
 }
 
 void
-TypeRegistryWorker::insertView(const std::string &name, std::int32_t id)
+TypeRegistryWorker::insertView(const std::string &name, std::int32_t id,
+                               int hint)
 {
     MutexLock lock(mutex_);
     view_[name] = id;
     idToName_[id] = name;
+    if (hint >= 0)
+        hints_[id] = hint;
     if (id > maxId_)
         maxId_ = id;
+}
+
+int
+TypeRegistryWorker::encodingHint(std::int32_t id)
+{
+    MutexLock lock(mutex_);
+    auto it = hints_.find(id);
+    return it == hints_.end() ? -1 : it->second;
 }
 
 RequestOptions
@@ -201,7 +271,7 @@ TypeRegistryWorker::idForClass(const std::string &name)
                      lookupOptions());
     ByteSource src(reply);
     std::int32_t id = src.readI32();
-    insertView(name, id);
+    insertView(name, id, hintFromByte(src.readU8()));
     return id;
 }
 
@@ -225,7 +295,7 @@ TypeRegistryWorker::nameForId(std::int32_t id)
     std::string name = src.readString();
     panicIf(name.empty(), "TypeRegistryWorker: unknown type id " +
                               std::to_string(id));
-    insertView(name, id);
+    insertView(name, id, hintFromByte(src.readU8()));
     return name;
 }
 
@@ -272,7 +342,7 @@ TypeRegistryWorker::tryKlassForId(std::int32_t id)
         std::string name = src.readString();
         if (name.empty())
             return nullptr;
-        insertView(name, id);
+        insertView(name, id, hintFromByte(src.readU8()));
     }
     return klassForId(id);
 }

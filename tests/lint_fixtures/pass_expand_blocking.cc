@@ -1,0 +1,23 @@
+// lint-invariants fixture (MUST PASS rule 3): the expander only
+// touches memory — item decode plus a placement helper, no sockets,
+// no round trips. Not compiled — parsed by
+// tools/lint_invariants.py --selftest.
+
+unsigned char *
+place(unsigned long bytes)
+{
+    static unsigned char chunk[4096];
+    return bytes <= sizeof(chunk) ? chunk : nullptr;
+}
+
+unsigned long
+expandCompactSegment(const unsigned char *data, unsigned long len)
+{
+    unsigned long off = 0;
+    while (off < len) {
+        unsigned char *dst = place(16);
+        for (int i = 0; i < 16 && off < len; ++i)
+            dst[i] = data[off++];
+    }
+    return off;
+}

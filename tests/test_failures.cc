@@ -37,6 +37,10 @@ class FailureTest : public ::testing::Test
         // different message.
         a_.skyway().debug() = DebugFlags{};
         b_.skyway().debug() = DebugFlags{};
+        // Same reason for the compact encoding (SKYWAY_WIRE_COMPACT
+        // in the environment): these guards are the *raw* parser's.
+        a_.skyway().setWireCompactMode(WireCompactMode::Off);
+        b_.skyway().setWireCompactMode(WireCompactMode::Off);
     }
 
     ClassCatalog catalog_;

@@ -51,8 +51,19 @@ runWith(const std::string &which, App &&app)
         factory ? *factory
                 : static_cast<SerializerFactory &>(*skyFactory);
     SparkCluster cluster(cat, fac, cfg);
-    if (!factory)
+    if (!factory) {
         skyFactory->bind(cluster);
+        // "skyway" in this suite means the paper's raw format: the
+        // accounting assertions (byte inflation vs kryo) are format
+        // properties, so keep the suite invariant under the
+        // SKYWAY_WIRE_COMPACT env knob (test_wirecompact owns the
+        // compact path).
+        cluster.driver().skyway().setWireCompactMode(
+            WireCompactMode::Off);
+        for (int w = 0; w < cluster.numWorkers(); ++w)
+            cluster.worker(w).skyway().setWireCompactMode(
+                WireCompactMode::Off);
+    }
     return app(cluster);
 }
 
@@ -207,6 +218,12 @@ TEST(SparkAccounting, SkywayShipsMoreBytesButLessSerDeTime)
     GTEST_SKIP() << "real-time assertion; sanitizer overhead distorts "
                     "the skyway/kryo S+D ratio";
 #endif
+    // Same reasoning for the runtime validators: SkywaySan instruments
+    // only the Skyway transfer path, so its overhead inverts the ratio.
+    if (std::getenv("SKYWAY_WIRE_CHECK") ||
+        std::getenv("SKYWAY_GRAPH_CHECK"))
+        GTEST_SKIP() << "real-time assertion; SkywaySan validator "
+                        "overhead distorts the skyway/kryo S+D ratio";
     GraphSpec spec{"t", 400, 4000, 2.0, 77, ""};
     EdgeList g = generateGraph(spec);
     const int iters = 3;

@@ -92,7 +92,11 @@ TEST_F(ParallelTest, FanOutSharedSubgraphExactlyOncePerStream)
     // carry a complete copy of its root's graph (losers of the baddr
     // CAS duplicate the shared objects via their hash fallback), and
     // every receiver must rebuild it bit-identically under the full
-    // SkywaySan graph audit.
+    // SkywaySan graph audit. The per-stream byte equality below is a
+    // raw-format invariant: pin compaction off (test_wirecompact.cc
+    // covers the fan-out under force).
+    nodeA_.skyway().setWireCompactMode(WireCompactMode::Off);
+    nodeB_.skyway().setWireCompactMode(WireCompactMode::Off);
     constexpr unsigned N = 4;
     nodeB_.skyway().debug().validateWire = true;
     nodeB_.skyway().debug().checkReceivedGraph = true;
@@ -207,7 +211,10 @@ TEST_F(ParallelTest, ZeroCopyAndFeedRebuildIdentically)
 {
     // The same wire bytes through the compat copy path and the
     // zero-copy path must yield structurally identical graphs; only
-    // the zero-copy buffer counts zero_copy_bytes.
+    // the zero-copy buffer counts zero_copy_bytes. zero_copy_bytes ==
+    // wire bytes is a raw-format invariant: pin compaction off.
+    nodeA_.skyway().setWireCompactMode(WireCompactMode::Off);
+    nodeB_.skyway().setWireCompactMode(WireCompactMode::Off);
     LocalRoots roots(nodeA_.heap());
     std::size_t rm =
         roots.push(makeMixed(nodeA_, roots, "dual path"));
@@ -288,7 +295,11 @@ TEST_F(ParallelTest, SocketPumpIsZeroCopy)
 {
     // The socket stream pair must move every payload byte through the
     // reserve/commit handoff — zero_copy_bytes equals the bytes the
-    // sender flushed onto the fabric.
+    // sender flushed onto the fabric. That equality only holds for
+    // the raw format (compact segments are staged and re-expanded):
+    // pin compaction off.
+    nodeA_.skyway().setWireCompactMode(WireCompactMode::Off);
+    nodeB_.skyway().setWireCompactMode(WireCompactMode::Off);
     LocalRoots roots(nodeA_.heap());
     Address m = makeMixed(nodeA_, roots, "socket path");
     nodeA_.skyway().shuffleStart();

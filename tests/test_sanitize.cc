@@ -63,7 +63,14 @@ class SanitizeTest : public ::testing::Test
           driver_(catalog_, net_, 0, 0),
           nodeA_(catalog_, net_, 1, 0),
           nodeB_(catalog_, net_, 2, 0)
-    {}
+    {
+        // This fixture's captures and the corruption harness index
+        // *raw* streams byte-for-byte; compact-encoding coverage
+        // lives in test_wirecompact.cc. Pin the mode so the suite
+        // passes under SKYWAY_WIRE_COMPACT=force too.
+        nodeA_.skyway().setWireCompactMode(WireCompactMode::Off);
+        nodeB_.skyway().setWireCompactMode(WireCompactMode::Off);
+    }
 
     WireCheckConfig
     cfg()

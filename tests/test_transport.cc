@@ -751,6 +751,11 @@ class TcpSkywayTest : public ::testing::Test
 TEST_F(TcpSkywayTest, SocketStreamsRoundTripZeroCopy)
 {
     nodeB_.skyway().debug().checkReceivedGraph = true;
+    // The fabric-byte equalities below are raw-format invariants
+    // (compact segments ship fewer bytes than the rebuilt buffer
+    // holds): pin compaction off.
+    nodeA_.skyway().setWireCompactMode(WireCompactMode::Off);
+    nodeB_.skyway().setWireCompactMode(WireCompactMode::Off);
 
     LocalRoots roots(nodeA_.heap());
     Address head = makeList(nodeA_, roots, 300);

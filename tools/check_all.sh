@@ -1,6 +1,7 @@
 #!/bin/sh
-# The full local gate (docs/STATIC_ANALYSIS.md §5): tier-1 tests,
-# the lint label, and the SKYWAY_ANALYZE build, in one command.
+# The full local gate: tier-1 tests, the lint label, the forced-
+# compaction pass (docs/WIRE_FORMAT.md), and the SKYWAY_ANALYZE build
+# (docs/STATIC_ANALYSIS.md §5), in one command.
 #
 #   tools/check_all.sh [SOURCE_ROOT]
 #
@@ -12,17 +13,23 @@ set -eu
 root=$(cd "${1:-$(dirname "$0")/..}" && pwd)
 jobs=$(nproc 2>/dev/null || echo 2)
 
-echo "== [1/4] configure + build (default flags) =="
+echo "== [1/5] configure + build (default flags) =="
 cmake -B "$root/build" -S "$root"
 cmake --build "$root/build" -j "$jobs"
 
-echo "== [2/4] tier-1 test suite =="
+echo "== [2/5] tier-1 test suite =="
 ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
 
-echo "== [3/4] lint label =="
+echo "== [3/5] lint label =="
 ctest --test-dir "$root/build" -L lint --output-on-failure
 
-echo "== [4/4] static-analysis build (SKYWAY_ANALYZE=ON) =="
+echo "== [4/5] forced-compaction suite (SKYWAY_WIRE_COMPACT=force) =="
+# Every eligible record takes the compact encode/expand path, with the
+# SkywaySan wire validator vetting both sides (docs/WIRE_FORMAT.md).
+SKYWAY_WIRE_COMPACT=force SKYWAY_WIRE_CHECK=1 \
+    ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
+
+echo "== [5/5] static-analysis build (SKYWAY_ANALYZE=ON) =="
 if command -v clang++ >/dev/null 2>&1; then
     CXX=clang++ cmake -B "$root/build-analyze" -S "$root" \
         -DSKYWAY_ANALYZE=ON

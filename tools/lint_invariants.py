@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Repo-specific concurrency lints (docs/STATIC_ANALYSIS.md).
 
-Two rules, each codifying a bug class this transport has actually
-shipped (and fixed) before:
+Three rules, each codifying a bug class this transport has actually
+shipped (and fixed) before — or, for rule 3, one an adjacent code
+path makes easy to ship:
 
 Rule 1 — **no blocking send(2)/recv(2) reachable from an event-loop
 handler**. The per-node epoll loop is the fabric's liveness: one loop
@@ -21,7 +22,18 @@ deadlocks the moment the handler needs the same lock. The rule scans
 every src/ translation unit, tracks lock-guard scopes by brace depth,
 and flags round-trip calls made while any scope is open.
 
-Both rules carry an explicit allowlist with a justification per entry
+Rule 3 — **no blocking call in the compact-segment expand path**.
+``InputBuffer::expandSegment`` runs inside ``commitReserved``/``feed``,
+which the TCP event loop drives directly when it recv()s a shuffle
+payload into chunk storage: a blocking primitive (or network round
+trip) reached from the expander wedges the loop exactly like rule 1's
+bug. The rule merges the function tables of the expand-path
+translation units (src/skyway/inputbuffer.cc, wirecompact.cc) and
+walks the call graph from ``expandSegment``/``expandCompactSegment``,
+flagging the same blocking primitives as rule 1 plus direct
+``request()`` round trips.
+
+All rules carry an explicit allowlist with a justification per entry
 — by-design blocking (the control plane serves strict request/reply
 exchanges) is *checked*, not silenced: an allowlisted name that stops
 matching anything fails the lint, so entries cannot rot.
@@ -191,6 +203,63 @@ def check_loop_blocking(path: pathlib.Path, text: str) -> tuple:
     return violations, allow_hits
 
 
+#: Rule 3: the expand path's roots and translation units. The walk
+#: merges the function tables so the cross-file call from
+#: InputBuffer::expandSegment into wire::expandCompactSegment is
+#: followed.
+EXPAND_ROOTS = ("expandSegment", "expandCompactSegment")
+EXPAND_PATH_FILES = (
+    "src/skyway/inputbuffer.cc",
+    "src/skyway/wirecompact.cc",
+)
+
+
+def check_expand_blocking(files) -> list:
+    """Rule 3 over the expand-path units. `files`: [(path, text)]."""
+    funcs = {}  # name -> (path, body)
+    for path, text in files:
+        for name, (_, body) in parse_functions(text).items():
+            funcs.setdefault(name, (path, body))
+    roots = [r for r in EXPAND_ROOTS if r in funcs]
+    if not roots:
+        return [
+            "rule 3 found none of "
+            + "/".join(EXPAND_ROOTS)
+            + " — the expand path moved; update EXPAND_PATH_FILES"
+        ]
+    violations = []
+    seen = set()
+    queue = [(r, [r]) for r in roots]
+    while queue:
+        fn, chain = queue.pop(0)
+        if fn in seen:
+            continue
+        seen.add(fn)
+        path, body = funcs[fn]
+        for idx, (lineno, line) in enumerate(body):
+            for m in re.finditer(r"::(send|recv)\s*\(", line):
+                if raw_blocking_net_call(body, idx):
+                    violations.append(
+                        f"{path}:{lineno}: blocking ::{m.group(1)}() "
+                        f"in the expand path via {' -> '.join(chain)}"
+                    )
+            if re.search(r"(?:\.|->)request\s*\(", line):
+                violations.append(
+                    f"{path}:{lineno}: network round trip in the "
+                    f"expand path via {' -> '.join(chain)}"
+                )
+            for m in CALL_RE.finditer(line):
+                callee = m.group(1)
+                if callee in BLOCKING_PRIMITIVES:
+                    violations.append(
+                        f"{path}:{lineno}: blocking {callee}() in "
+                        f"the expand path via {' -> '.join(chain)}"
+                    )
+                elif callee in funcs and callee not in seen:
+                    queue.append((callee, chain + [callee]))
+    return violations
+
+
 def check_lock_round_trip(path: pathlib.Path, text: str) -> tuple:
     """Rule 2 over one file. Returns (violations, allow_hits)."""
     violations = []
@@ -245,6 +314,11 @@ def run(root: pathlib.Path) -> int:
             violations += v
             lock_allow_hits |= a
 
+    violations += check_expand_blocking(
+        [(root / f, (root / f).read_text(encoding="utf-8"))
+         for f in EXPAND_PATH_FILES if (root / f).exists()]
+    )
+
     # Stale-allowlist check: every entry must still match real code.
     for name in sorted(set(ALLOW_LOOP_BLOCKING) - loop_allow_hits):
         violations.append(
@@ -271,7 +345,8 @@ def run(root: pathlib.Path) -> int:
         "event loop (checked allowlist: "
         f"{', '.join(sorted(loop_allow_hits))}); no lock held across "
         "a round trip (checked allowlist: "
-        f"{', '.join(sorted(lock_allow_hits))})"
+        f"{', '.join(sorted(lock_allow_hits))}); no blocking call in "
+        "the compact expand path"
     )
     return 0
 
@@ -284,7 +359,9 @@ def selftest(root: pathlib.Path) -> int:
     failures = []
     for path in cases:
         text = path.read_text(encoding="utf-8")
-        if "loop_blocking" in path.name:
+        if "expand_blocking" in path.name:
+            found = check_expand_blocking([(path, text)])
+        elif "loop_blocking" in path.name:
             found, _ = check_loop_blocking(path, text)
         elif "lock_roundtrip" in path.name:
             found, _ = check_lock_round_trip(path, text)
